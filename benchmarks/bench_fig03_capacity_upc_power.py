@@ -1,0 +1,30 @@
+"""Fig. 3: normalized UPC (bars) and decoder power (line) vs uop cache
+capacity (2K..64K uops), per workload plus the suite average.
+
+Paper's shape: UPC rises monotonically with capacity (avg +11.2%, gcc up to
++26.7% at 64K) while decoder power falls (avg -39.2%)."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig3_capacity_upc_and_power
+from repro.analysis.tables import render_table
+
+
+def test_fig03_capacity_upc_and_decoder_power(benchmark, capacity_sweep):
+    data = benchmark.pedantic(
+        lambda: fig3_capacity_upc_and_power(capacity_sweep),
+        rounds=1, iterations=1)
+
+    text = render_table(
+        data["normalized_upc"],
+        title="Fig. 3a: UPC normalized to the 2K-uop baseline")
+    text += "\n\n" + render_table(
+        data["normalized_decoder_power"],
+        title="Fig. 3b: decoder power normalized to the 2K-uop baseline")
+    publish("fig03", text)
+
+    average_upc = data["normalized_upc"]["average"]
+    average_power = data["normalized_decoder_power"]["average"]
+    # Shape assertions: monotone improvement, monotone power reduction.
+    assert average_upc["OC_64K"] >= average_upc["OC_2K"]
+    assert average_power["OC_64K"] <= average_power["OC_2K"]

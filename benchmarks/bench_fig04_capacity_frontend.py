@@ -1,0 +1,33 @@
+"""Fig. 4: normalized uop cache fetch ratio (bars), dispatched uops/cycle and
+branch misprediction latency (lines) vs uop cache capacity.
+
+Paper's shape: fetch ratio improves strongly with capacity (avg +69.7% at
+64K vs 2K), dispatch bandwidth follows (+13%), misprediction latency falls
+(-10.3%)."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig4_capacity_frontend
+from repro.analysis.tables import render_table
+
+
+def test_fig04_capacity_frontend_metrics(benchmark, capacity_sweep):
+    data = benchmark.pedantic(
+        lambda: fig4_capacity_frontend(capacity_sweep),
+        rounds=1, iterations=1)
+
+    text = render_table(
+        data["normalized_oc_fetch_ratio"],
+        title="Fig. 4a: OC fetch ratio normalized to the 2K baseline")
+    text += "\n\n" + render_table(
+        data["normalized_dispatch_bandwidth"],
+        title="Fig. 4b: dispatched uops/cycle normalized to the 2K baseline")
+    text += "\n\n" + render_table(
+        data["normalized_mispredict_latency"],
+        title="Fig. 4c: branch misprediction latency normalized to 2K")
+    publish("fig04", text)
+
+    fetch = data["normalized_oc_fetch_ratio"]["average"]
+    assert fetch["OC_64K"] >= fetch["OC_2K"]
+    dispatch = data["normalized_dispatch_bandwidth"]["average"]
+    assert dispatch["OC_64K"] >= dispatch["OC_2K"] * 0.99

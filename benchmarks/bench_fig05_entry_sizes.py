@@ -1,0 +1,27 @@
+"""Fig. 5: distribution of uop cache entry sizes (bytes) in the baseline.
+
+Paper's shape: entries are small — on average 72% of installed entries are
+under 40 bytes (buckets 1-19 / 20-39 / 40-64 of a 64B line)."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig5_entry_size_distribution
+from repro.analysis.tables import render_table
+
+
+def test_fig05_entry_size_distribution(benchmark, capacity_sweep):
+    def compute():
+        baseline = {workload: by_label["OC_2K"]
+                    for workload, by_label in capacity_sweep.results.items()}
+        return fig5_entry_size_distribution(baseline)
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    publish("fig05", render_table(
+        table, title="Fig. 5: uop cache entry size distribution (fraction "
+        "of fills per byte bucket)"))
+
+    average = table["average"]
+    under_40 = average["1-19"] + average["20-39"]
+    # Shape: a large fraction of entries are well below a full line.
+    assert under_40 >= 0.35
+    assert abs(sum(average.values()) - 1.0) < 1e-6

@@ -1,0 +1,23 @@
+"""Fig. 6: percentage of uop cache entries terminated by a predicted taken
+branch (baseline).
+
+Paper's shape: 49.4% on average, up to 67% (leela)."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig6_taken_branch_terminations
+from repro.analysis.tables import render_series
+
+
+def test_fig06_taken_branch_terminations(benchmark, capacity_sweep):
+    def compute():
+        baseline = {workload: by_label["OC_2K"]
+                    for workload, by_label in capacity_sweep.results.items()}
+        return fig6_taken_branch_terminations(baseline)
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    publish("fig06", render_series(
+        series, title="Fig. 6: fraction of entries terminated by a "
+        "predicted taken branch"))
+
+    assert 0.2 <= series["average"] <= 0.8

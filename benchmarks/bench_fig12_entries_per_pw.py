@@ -1,0 +1,27 @@
+"""Fig. 12: distribution of uop cache entries per prediction window.
+
+Paper's shape: 64.5% of PWs map to one entry, 31.6% to two, 3.9% to three."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig12_entries_per_pw
+from repro.analysis.tables import render_table
+
+
+def test_fig12_entries_per_pw(benchmark, capacity_sweep):
+    def compute():
+        baseline = {workload: by_label["OC_2K"]
+                    for workload, by_label in capacity_sweep.results.items()}
+        return fig12_entries_per_pw(baseline)
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    publish("fig12", render_table(
+        {w: {str(k): v for k, v in row.items()}
+         for w, row in table.items()},
+        title="Fig. 12: entries per PW distribution (1 / 2 / 3+)"))
+
+    average = table["average"]
+    # Shape: single-entry PWs dominate (paper: 64.5%) with a substantial
+    # two-entry share (paper: 31.6%) and a small 3+ tail (paper: 3.9%).
+    assert 0.4 <= average[1] <= 0.95
+    assert average[2] + average[3] > 0.05

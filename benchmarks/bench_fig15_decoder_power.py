@@ -1,0 +1,23 @@
+"""Fig. 15: normalized decoder power for baseline / CLASP / RAC / PWAC /
+F-PWAC (2K uops, max 2 compacted entries per line).
+
+Paper's shape: power falls monotonically across the designs — CLASP -8.6%,
+RAC -14.9%, PWAC -16.3%, F-PWAC -19.4% on average."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig15_decoder_power
+from repro.analysis.tables import render_table
+
+
+def test_fig15_decoder_power(benchmark, policy_sweep):
+    table = benchmark.pedantic(
+        lambda: fig15_decoder_power(policy_sweep), rounds=1, iterations=1)
+    publish("fig15", render_table(
+        table, title="Fig. 15: decoder power normalized to baseline",
+        column_order=["baseline", "clasp", "rac", "pwac", "f-pwac"]))
+
+    average = table["average"]
+    assert average["clasp"] <= average["baseline"] + 1e-9
+    assert average["f-pwac"] <= average["clasp"] + 0.02
+    assert average["f-pwac"] < 1.0

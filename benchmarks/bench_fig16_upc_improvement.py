@@ -1,0 +1,24 @@
+"""Fig. 16: percent UPC improvement over the baseline for CLASP and the
+compaction policies (max two entries per line).
+
+Paper's shape: geometric-mean gains of CLASP +1.7%, RAC +3.5%, PWAC +4.4%,
+F-PWAC +5.45%; max F-PWAC gain 12.8% (gcc)."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig16_upc_improvement
+from repro.analysis.tables import render_table
+
+
+def test_fig16_upc_improvement(benchmark, policy_sweep):
+    table = benchmark.pedantic(
+        lambda: fig16_upc_improvement(policy_sweep), rounds=1, iterations=1)
+    publish("fig16", render_table(
+        table, title="Fig. 16: % UPC improvement over baseline "
+        "(max 2 entries/line)", fmt="{:+.2f}",
+        column_order=["baseline", "clasp", "rac", "pwac", "f-pwac"]))
+
+    gmean = table["g.mean"]
+    assert gmean["clasp"] >= -0.5          # CLASP never hurts materially
+    assert gmean["f-pwac"] >= gmean["clasp"] - 0.25
+    assert gmean["f-pwac"] > 0.5           # compaction visibly helps

@@ -1,0 +1,35 @@
+"""Fig. 17: normalized OC fetch ratio, dispatch bandwidth and branch
+misprediction latency for baseline / CLASP / RAC / PWAC / F-PWAC.
+
+Paper's shape: fetch ratio +11.6% (CLASP) to +28.8% (F-PWAC); dispatch
+bandwidth +2.2% to +6.3%; misprediction latency -2% to -5.2%."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig17_policy_frontend
+from repro.analysis.tables import render_table
+
+ORDER = ["baseline", "clasp", "rac", "pwac", "f-pwac"]
+
+
+def test_fig17_policy_frontend_metrics(benchmark, policy_sweep):
+    data = benchmark.pedantic(
+        lambda: fig17_policy_frontend(policy_sweep), rounds=1, iterations=1)
+
+    text = render_table(
+        data["normalized_oc_fetch_ratio"],
+        title="Fig. 17a: OC fetch ratio normalized to baseline",
+        column_order=ORDER)
+    text += "\n\n" + render_table(
+        data["normalized_dispatch_bandwidth"],
+        title="Fig. 17b: dispatch bandwidth normalized to baseline",
+        column_order=ORDER)
+    text += "\n\n" + render_table(
+        data["normalized_mispredict_latency"],
+        title="Fig. 17c: branch misprediction latency normalized to baseline",
+        column_order=ORDER)
+    publish("fig17", text)
+
+    fetch = data["normalized_oc_fetch_ratio"]["average"]
+    assert fetch["f-pwac"] >= fetch["baseline"]
+    assert fetch["f-pwac"] >= fetch["clasp"] - 0.01

@@ -1,0 +1,22 @@
+"""Fig. 18: fraction of uop cache fills compacted into an existing line
+without evicting anything (F-PWAC design).
+
+Paper's shape: on average 66.3% of entries written are compacted."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig18_compacted_lines
+from repro.analysis.tables import render_series
+
+
+def test_fig18_compacted_fill_ratio(benchmark, policy_sweep):
+    def compute():
+        fpwac = {workload: by_label["f-pwac"]
+                 for workload, by_label in policy_sweep.results.items()}
+        return fig18_compacted_lines(fpwac)
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    publish("fig18", render_series(
+        series, title="Fig. 18: fraction of fills compacted (F-PWAC)"))
+
+    assert series["average"] > 0.05

@@ -1,0 +1,30 @@
+"""Fig. 19: among compacted fills under F-PWAC, the share performed by each
+allocation technique (RAC fallback / PWAC / forced F-PWAC).
+
+Paper's shape: 30.3% RAC, 41.4% PWAC, 28.3% F-PWAC."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig19_compaction_kinds
+from repro.analysis.tables import render_table
+
+
+def test_fig19_compaction_kind_distribution(benchmark, policy_sweep):
+    def compute():
+        fpwac = {workload: by_label["f-pwac"]
+                 for workload, by_label in policy_sweep.results.items()}
+        return fig19_compaction_kinds(fpwac)
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    publish("fig19", render_table(
+        table, title="Fig. 19: compacted-entry distribution by technique "
+        "(F-PWAC design)", column_order=["rac", "pwac", "f-pwac"]))
+
+    average = table["average"]
+    total = average["rac"] + average["pwac"] + average["f-pwac"]
+    assert total == (
+        __import__("pytest").approx(1.0, abs=1e-6)) or total == 0.0
+    # All three mechanisms must actually fire somewhere in the suite.
+    assert average["rac"] > 0
+    assert average["pwac"] > 0
+    assert average["f-pwac"] > 0

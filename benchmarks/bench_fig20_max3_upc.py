@@ -1,0 +1,22 @@
+"""Fig. 20: percent UPC improvement with up to THREE compacted entries per
+line (sensitivity study, Section VI-B1).
+
+Paper's shape: max-3 compaction is slightly better than max-2 (+6.0% vs
++5.4% mean F-PWAC) because few lines have room for a third entry."""
+
+from conftest import publish
+
+from repro.analysis.figures import fig16_upc_improvement
+from repro.analysis.tables import render_table
+
+
+def test_fig20_upc_improvement_max3(benchmark, policy_sweep_max3):
+    table = benchmark.pedantic(
+        lambda: fig16_upc_improvement(policy_sweep_max3),
+        rounds=1, iterations=1)
+    publish("fig20", render_table(
+        table, title="Fig. 20: % UPC improvement over baseline "
+        "(max 3 entries/line)", fmt="{:+.2f}",
+        column_order=["baseline", "clasp", "rac", "pwac", "f-pwac"]))
+
+    assert table["g.mean"]["f-pwac"] > 0.0

@@ -1,0 +1,41 @@
+"""SMT extension (beyond the paper's figures): two hardware threads sharing
+one uop cache, the scenario Section V-B1 uses to motivate PW-aware over
+replacement-aware compaction.
+
+Reports aggregate throughput and fetch ratio for the shared 2K-uop cache
+under each design, for three co-run pairs."""
+
+from conftest import BENCH_INSTRUCTIONS, publish
+
+from repro.analysis.tables import render_table
+from repro.core.experiment import policy_config, workload_trace
+from repro.core.smt import simulate_smt
+
+PAIRS = (("bm-cc", "bm-lla"), ("redis", "jvm"), ("sp-log_regr", "bm-x64"))
+LABELS = ("baseline", "clasp", "rac", "pwac", "f-pwac")
+
+
+def test_smt_shared_uop_cache(benchmark):
+    def compute():
+        rows = {}
+        for pair in PAIRS:
+            traces = [workload_trace(name, BENCH_INSTRUCTIONS // 2)
+                      for name in pair]
+            rows["+".join(pair)] = {
+                label: simulate_smt(traces, policy_config(label, 2048),
+                                    label).aggregate_fetch_ratio
+                for label in LABELS}
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    normalized = {
+        pair: {label: value / values["baseline"]
+               for label, value in values.items()}
+        for pair, values in rows.items()}
+    publish("smt", render_table(
+        normalized,
+        title="SMT: aggregate OC fetch ratio normalized to baseline "
+        "(2 threads, shared 2K-uop cache)", column_order=list(LABELS)))
+
+    for values in normalized.values():
+        assert values["f-pwac"] >= values["baseline"] - 0.01

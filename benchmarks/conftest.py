@@ -1,0 +1,97 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each ``bench_figNN_*.py`` regenerates one table/figure of the paper: it runs
+(or reuses) the relevant sweep, prints the same rows/series the paper plots,
+and records the rendered output under ``benchmarks/results/``.
+
+Heavy sweeps are computed once per pytest session and shared across the
+benchmarks that draw different figures from the same experiment (exactly as
+the paper draws Figs. 3 and 4 from one capacity sweep).
+
+Environment knobs:
+
+- ``REPRO_BENCH_INSTRUCTIONS`` — dynamic instructions per workload trace
+  (default 100000; raise for tighter statistics).
+- ``REPRO_BENCH_WORKLOADS``    — comma-separated subset of workload names
+  (default: the full 13-workload suite).
+- ``REPRO_BENCH_WARMUP``       — warmup instructions excluded from measured
+  rates (default 20000).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import (
+    CAPACITY_SWEEP,
+    POLICY_LABELS,
+    run_capacity_sweep,
+    run_policy_sweep,
+)
+from repro.workloads.suite import WORKLOAD_NAMES
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "100000"))
+BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "20000"))
+_names = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+BENCH_WORKLOADS = tuple(
+    name.strip() for name in _names.split(",") if name.strip()) or \
+    WORKLOAD_NAMES
+
+_sweep_cache = {}
+
+
+def _cached(key, builder):
+    if key not in _sweep_cache:
+        _sweep_cache[key] = builder()
+    return _sweep_cache[key]
+
+
+@pytest.fixture(scope="session")
+def capacity_sweep():
+    """Figs. 3-4: baseline design at 2K..64K uops."""
+    return _cached("capacity", lambda: run_capacity_sweep(
+        workloads=BENCH_WORKLOADS, capacities=CAPACITY_SWEEP,
+        num_instructions=BENCH_INSTRUCTIONS,
+        warmup_instructions=BENCH_WARMUP))
+
+
+@pytest.fixture(scope="session")
+def policy_sweep():
+    """Figs. 15-19: baseline/CLASP/RAC/PWAC/F-PWAC at 2K uops, max 2/line."""
+    return _cached("policy2", lambda: run_policy_sweep(
+        workloads=BENCH_WORKLOADS, labels=POLICY_LABELS,
+        capacity_uops=2048, max_entries_per_line=2,
+        num_instructions=BENCH_INSTRUCTIONS,
+        warmup_instructions=BENCH_WARMUP))
+
+
+@pytest.fixture(scope="session")
+def policy_sweep_max3():
+    """Figs. 20-21: compaction with max 3 entries per line."""
+    return _cached("policy3", lambda: run_policy_sweep(
+        workloads=BENCH_WORKLOADS,
+        labels=("baseline", "clasp", "rac", "pwac", "f-pwac"),
+        capacity_uops=2048, max_entries_per_line=3,
+        num_instructions=BENCH_INSTRUCTIONS,
+        warmup_instructions=BENCH_WARMUP))
+
+
+@pytest.fixture(scope="session")
+def policy_sweep_4k():
+    """Fig. 22: the same designs over a 4K-uop baseline."""
+    return _cached("policy4k", lambda: run_policy_sweep(
+        workloads=BENCH_WORKLOADS, labels=POLICY_LABELS,
+        capacity_uops=4096, max_entries_per_line=2,
+        num_instructions=BENCH_INSTRUCTIONS,
+        warmup_instructions=BENCH_WARMUP))
+
+
+def publish(name: str, text: str) -> None:
+    """Print a figure's rows and persist them under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

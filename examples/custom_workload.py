@@ -1,0 +1,75 @@
+"""Custom workload: define your own synthetic program profile, inspect its
+static/dynamic properties, and measure how it behaves in the uop cache.
+
+This is the entry point for using the library on *your* code shapes: the
+profile controls code footprint, basic-block sizes, branch behaviour, call
+structure and data access patterns.
+
+Run:  python examples/custom_workload.py
+"""
+
+from collections import Counter
+
+from repro.common.config import CompactionPolicy, baseline_config, compaction_config
+from repro.core.simulator import simulate
+from repro.isa.builder import SERVER_MIX
+from repro.workloads.generator import WorkloadProfile, generate_workload
+
+
+def main() -> None:
+    # A microservice-style profile: moderate code footprint, short blocks,
+    # lots of virtual dispatch, predictable branches.
+    profile = WorkloadProfile(
+        name="my-service",
+        num_functions=220,
+        blocks_per_function=(3, 9),
+        insts_per_block=(1, 6),
+        mix=SERVER_MIX,
+        loop_fraction=0.10,
+        call_fraction=0.10,
+        indirect_call_fraction=0.5,
+        hard_branch_fraction=0.03,
+        hot_function_zipf=0.7,
+        driver_uniform_fraction=0.3,
+        loop_trip_counts=(2, 4, 8),
+    )
+    workload = generate_workload(profile, seed=42)
+    program = workload.program
+
+    print("static image")
+    print(f"  functions:            {len(program.functions)}")
+    print(f"  instructions:         {program.num_instructions}")
+    print(f"  static uops:          {program.num_static_uops}")
+    print(f"  code footprint:       {program.code_bytes / 1024:.1f} KiB "
+          f"({program.touched_icache_lines()} I-cache lines)")
+
+    trace = workload.trace(num_instructions=80_000, seed=1)
+    trace.validate()
+    stats = trace.branch_stats()
+    dynamic_pcs = Counter(record.pc for record in trace)
+    hot_uops = sum(program.at(pc).uop_count for pc in dynamic_pcs)
+    print("\ndynamic trace")
+    print(f"  instructions:         {len(trace)}")
+    print(f"  dynamic uops:         {trace.num_dynamic_uops}")
+    print(f"  branch density:       {stats.branch_density:.1%}")
+    print(f"  touched uop footprint {hot_uops} uops")
+
+    base = simulate(trace, baseline_config(2048), "baseline-2K")
+    best = simulate(trace,
+                    compaction_config(CompactionPolicy.F_PWAC, 2048),
+                    "clasp+f-pwac")
+    big = simulate(trace, baseline_config(8192), "baseline-8K")
+
+    print("\nuop cache behaviour")
+    print(f"  {'config':<16s}{'UPC':>7s}{'fetch ratio':>13s}{'decoder P':>11s}")
+    for result in (base, best, big):
+        print(f"  {result.config_label:<16s}{result.upc:>7.3f}"
+              f"{result.oc_fetch_ratio:>13.3f}{result.decoder_power:>11.3f}")
+
+    gain = 100 * (best.upc / base.upc - 1)
+    print(f"\nCLASP+F-PWAC recovers {gain:+.2f}% UPC on a 2K-uop cache — "
+          "compare against simply quadrupling capacity above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: simulate one workload under the baseline and the paper's best
+design (CLASP + F-PWAC compaction), and print the headline metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.common.config import CompactionPolicy, baseline_config, compaction_config
+from repro.core.simulator import simulate
+from repro.workloads.suite import get_workload
+
+
+def main() -> None:
+    # 1. Build a synthetic workload (502.gcc_r analogue) and walk a trace.
+    workload = get_workload("bm-cc")
+    print(f"program: {workload.program.num_instructions} static instructions, "
+          f"{workload.program.num_static_uops} static uops, "
+          f"{workload.program.code_bytes / 1024:.0f} KiB of code")
+
+    trace = workload.trace(num_instructions=100_000, seed=7)
+    stats = trace.branch_stats()
+    print(f"trace:   {len(trace)} instructions, "
+          f"{stats.branches} branches ({stats.branch_density:.1%} density)\n")
+
+    # 2. Simulate the paper's baseline: 2K-uop cache, no optimizations.
+    base = simulate(trace, baseline_config(capacity_uops=2048), "baseline")
+
+    # 3. Simulate the paper's most aggressive design: CLASP + F-PWAC.
+    best = simulate(
+        trace, compaction_config(CompactionPolicy.F_PWAC, capacity_uops=2048),
+        "clasp+f-pwac")
+
+    # 4. Compare.
+    rows = [
+        ("uops per cycle (UPC)", base.upc, best.upc),
+        ("uop cache fetch ratio", base.oc_fetch_ratio, best.oc_fetch_ratio),
+        ("dispatch bandwidth", base.dispatch_bandwidth,
+         best.dispatch_bandwidth),
+        ("decoder power (a.u.)", base.decoder_power, best.decoder_power),
+        ("avg mispredict latency", base.avg_mispredict_latency,
+         best.avg_mispredict_latency),
+    ]
+    print(f"{'metric':<26s}{'baseline':>12s}{'clasp+f-pwac':>14s}{'delta':>9s}")
+    for name, b, o in rows:
+        delta = 100.0 * (o / b - 1.0) if b else 0.0
+        print(f"{name:<26s}{b:>12.3f}{o:>14.3f}{delta:>+8.1f}%")
+
+    print(f"\ncompacted fills: {best.compacted_fill_fraction:.1%} "
+          f"(baseline: {base.compacted_fill_fraction:.1%})")
+    print(f"UPC improvement: {100 * (best.upc / base.upc - 1):+.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Self-modifying code (SMC) invalidation: why uop cache entries terminate at
+I-cache line boundaries, and how CLASP keeps invalidation cheap.
+
+Section II-B4 of the paper argues trace caches are impractical because an SMC
+store may have to flush the whole structure.  The baseline design confines an
+I-cache line's uops to one set; CLASP relaxes this to two consecutive sets.
+This example drives the uop cache structure directly (no simulator) and
+demonstrates the invalidating probe in both designs.
+
+Run:  python examples/smc_invalidation.py
+"""
+
+from repro.common.config import UopCacheConfig
+from repro.isa.uop import Uop, UopKind
+from repro.uopcache.cache import UopCache
+from repro.uopcache.entry import EntryTermination, UopCacheEntry
+
+
+def entry_at(start_pc: int, num_insts: int, inst_length: int = 4):
+    uops = []
+    pc = start_pc
+    for _ in range(num_insts):
+        uops.append(Uop(pc=pc, inst_length=inst_length, kind=UopKind.ALU,
+                        slot=0, num_slots=1))
+        pc += inst_length
+    return UopCacheEntry(start_pc=start_pc, pw_id=start_pc,
+                         uops=tuple(uops), end_pc=pc,
+                         termination=EntryTermination.TAKEN_BRANCH)
+
+
+def main() -> None:
+    print("baseline design: entries never cross the I-cache line boundary")
+    baseline = UopCache(UopCacheConfig(num_sets=8, associativity=2))
+    baseline.fill(entry_at(0x1000, 4))   # line 0x1000
+    baseline.fill(entry_at(0x1010, 4))   # line 0x1000, different start byte
+    baseline.fill(entry_at(0x1040, 4))   # next line
+    print(f"  resident entries: {baseline.resident_entries()}")
+
+    removed = baseline.invalidate_icache_line(0x1000)
+    print(f"  SMC store to line 0x1000 invalidates {removed} entries "
+          f"with ONE set probe")
+    print(f"  entry in line 0x1040 survives: "
+          f"{baseline.lookup(0x1040) is not None}\n")
+
+    print("CLASP design: entries may span two consecutive lines")
+    clasp = UopCache(UopCacheConfig(num_sets=8, associativity=2, clasp=True))
+    spanning = entry_at(0x1038, 4)       # 0x1038..0x1048 - spans the boundary
+    clasp.fill(spanning)
+    lines = ", ".join(hex(line) for line in spanning.icache_lines(64))
+    print(f"  filled entry covering lines [{lines}] "
+          f"(tagged into the set of line 0x1000)")
+
+    removed = clasp.invalidate_icache_line(0x1040)
+    print(f"  SMC store to line 0x1040 invalidates {removed} entry — the "
+          "probe searches the line's own set AND the previous set")
+    clasp.check_invariants()
+
+    print("\nTakeaway: bounding an entry to at most two consecutive lines "
+          "keeps SMC invalidation a two-set probe instead of a full flush — "
+          "the property that makes CLASP practical where trace caches "
+          "are not.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Figure/table reproduction helpers."""
+
+from .charts import render_bar_chart, render_grouped_bars, render_sparkline
+from .figures import (
+    ENTRY_SIZE_BUCKETS,
+    fig3_capacity_upc_and_power,
+    fig4_capacity_frontend,
+    fig5_entry_size_distribution,
+    fig6_taken_branch_terminations,
+    fig9_spanning_entries,
+    fig12_entries_per_pw,
+    fig15_decoder_power,
+    fig16_upc_improvement,
+    fig17_policy_frontend,
+    fig18_compacted_lines,
+    fig19_compaction_kinds,
+    with_average,
+)
+from .report import render_result
+from .tables import render_series, render_table, render_table1, render_table2
+
+__all__ = [
+    "ENTRY_SIZE_BUCKETS",
+    "fig3_capacity_upc_and_power",
+    "fig4_capacity_frontend",
+    "fig5_entry_size_distribution",
+    "fig6_taken_branch_terminations",
+    "fig9_spanning_entries",
+    "fig12_entries_per_pw",
+    "fig15_decoder_power",
+    "fig16_upc_improvement",
+    "fig17_policy_frontend",
+    "fig18_compacted_lines",
+    "fig19_compaction_kinds",
+    "render_bar_chart",
+    "render_grouped_bars",
+    "render_result",
+    "render_series",
+    "render_sparkline",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "with_average",
+]

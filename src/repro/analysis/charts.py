@@ -1,0 +1,99 @@
+"""Plain-text (ASCII) chart rendering for figure data.
+
+The paper's figures are bar/line charts; these helpers render the same data
+as horizontal bar charts in a terminal, so `python -m repro` and the bench
+outputs can *show* the shapes, not just list numbers.
+
+- :func:`render_bar_chart`    — one bar per key (Figs. 6, 9, 18).
+- :func:`render_grouped_bars` — per-row groups of bars, one per column
+  (Figs. 3, 15-17: workloads x configs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+DEFAULT_WIDTH = 48
+_FULL = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale_max: float, width: int) -> str:
+    """A unicode bar of ``value / scale_max`` of ``width`` characters."""
+    if scale_max <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / scale_max))
+    cells = fraction * width
+    whole = int(cells)
+    remainder = cells - whole
+    eighths = int(remainder * 8)
+    bar = _FULL * whole
+    if eighths and whole < width:
+        bar += _PARTIAL[eighths]
+    return bar
+
+
+def render_bar_chart(series: Mapping[str, float], title: str = "",
+                     width: int = DEFAULT_WIDTH,
+                     fmt: str = "{:.3f}",
+                     scale_max: Optional[float] = None) -> str:
+    """Render ``{label: value}`` as a horizontal bar chart."""
+    if not series:
+        return title
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = scale_max if scale_max is not None else max(series.values())
+    label_width = max(len(str(key)) for key in series)
+    for key, value in series.items():
+        bar = _bar(value, peak, width)
+        lines.append(f"{str(key):<{label_width}s} |{bar:<{width}s}| "
+                     f"{fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(table: Mapping[str, Mapping[str, float]],
+                        title: str = "", width: int = DEFAULT_WIDTH,
+                        fmt: str = "{:.3f}",
+                        column_order: Optional[Sequence[str]] = None,
+                        scale_max: Optional[float] = None) -> str:
+    """Render ``{row: {column: value}}`` as grouped horizontal bars.
+
+    Each row becomes a group with one bar per column, all sharing one scale
+    so groups are visually comparable (the paper's grouped-bar figures)."""
+    if not table:
+        return title
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    columns = list(column_order) if column_order else \
+        list(next(iter(table.values()), {}))
+    all_values = [values[column]
+                  for values in table.values()
+                  for column in columns if column in values]
+    peak = scale_max if scale_max is not None else \
+        (max(all_values) if all_values else 1.0)
+    column_width = max(len(str(column)) for column in columns)
+    for row_name, values in table.items():
+        lines.append(str(row_name))
+        for column in columns:
+            if column not in values:
+                continue
+            bar = _bar(values[column], peak, width)
+            lines.append(f"  {str(column):<{column_width}s} |{bar:<{width}s}| "
+                         f"{fmt.format(values[column])}")
+    return "\n".join(lines)
+
+
+def render_sparkline(values: Sequence[float], width: int = 0) -> str:
+    """A one-line sparkline (e.g. fetch ratio across capacities)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return blocks[3] * len(values)
+    return "".join(
+        blocks[min(7, int((value - low) / span * 7.999))] for value in values)

@@ -1,0 +1,190 @@
+"""Per-figure reproduction: compute each paper figure's series from sweeps.
+
+Each ``figN_*`` function takes the relevant :class:`SweepResult` (or runs one)
+and returns plain dictionaries shaped like the paper's plot: per-workload
+series plus the suite average, ready to print or plot.  The benchmark harness
+(`benchmarks/`) calls these and renders the rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..common.statistics import arithmetic_mean, geometric_mean
+from ..core.experiment import SweepResult
+from ..core.metrics import SimulationResult
+from ..uopcache.cache import FillKind
+
+#: Fig. 5's size buckets (bytes), inclusive.
+ENTRY_SIZE_BUCKETS: Tuple[Tuple[int, int], ...] = ((1, 19), (20, 39), (40, 64))
+
+
+def _metric_table(sweep: SweepResult, metric, reference_label: str,
+                  as_percent_improvement: bool = False) -> Dict[str, Dict[str, float]]:
+    if as_percent_improvement:
+        return sweep.improvement_percent(metric, reference_label)
+    return sweep.normalized(metric, reference_label)
+
+
+def with_average(table: Mapping[str, Mapping[str, float]],
+                 geometric: bool = False) -> Dict[str, Dict[str, float]]:
+    """Append an 'average' pseudo-workload row (paper plots one)."""
+    result = {workload: dict(values) for workload, values in table.items()}
+    labels: List[str] = list(next(iter(table.values()), {}))
+    average: Dict[str, float] = {}
+    for label in labels:
+        values = [table[w][label] for w in table]
+        average[label] = geometric_mean(values) if geometric \
+            else arithmetic_mean(values)
+    result["average"] = average
+    return result
+
+
+# -- Fig. 3: normalized UPC + decoder power vs capacity -----------------------
+
+def fig3_capacity_upc_and_power(sweep: SweepResult,
+                                reference_label: str = "OC_2K") -> Dict[str, Dict]:
+    upc = with_average(_metric_table(sweep, lambda r: r.upc, reference_label))
+    power = with_average(_metric_table(
+        sweep, lambda r: r.decoder_power, reference_label))
+    return {"normalized_upc": upc, "normalized_decoder_power": power}
+
+
+# -- Fig. 4: fetch ratio / dispatch bandwidth / mispredict latency vs capacity --
+
+def fig4_capacity_frontend(sweep: SweepResult,
+                           reference_label: str = "OC_2K") -> Dict[str, Dict]:
+    fetch = with_average(_metric_table(
+        sweep, lambda r: r.oc_fetch_ratio, reference_label))
+    dispatch = with_average(_metric_table(
+        sweep, lambda r: r.dispatch_bandwidth, reference_label))
+    latency = with_average(_metric_table(
+        sweep, lambda r: r.avg_mispredict_latency, reference_label))
+    return {"normalized_oc_fetch_ratio": fetch,
+            "normalized_dispatch_bandwidth": dispatch,
+            "normalized_mispredict_latency": latency}
+
+
+# -- Fig. 5: entry size distribution --------------------------------------------
+
+def fig5_entry_size_distribution(
+        results: Mapping[str, SimulationResult]) -> Dict[str, Dict[str, float]]:
+    """Per-workload fraction of fills per size bucket (baseline config)."""
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, result in results.items():
+        hist = result.entry_size_histogram
+        table[workload] = hist.bucketed(ENTRY_SIZE_BUCKETS) if hist else {}
+    return with_average(table)
+
+
+# -- Fig. 6: taken-branch terminations ------------------------------------------
+
+def fig6_taken_branch_terminations(
+        results: Mapping[str, SimulationResult]) -> Dict[str, float]:
+    table = {workload: result.taken_branch_termination_fraction
+             for workload, result in results.items()}
+    table["average"] = arithmetic_mean(list(table.values()))
+    return table
+
+
+# -- Fig. 9: entries spanning I-cache lines under CLASP --------------------------
+
+def fig9_spanning_entries(
+        results: Mapping[str, SimulationResult]) -> Dict[str, float]:
+    table = {workload: result.entries_spanning_lines_fraction
+             for workload, result in results.items()}
+    table["average"] = arithmetic_mean(list(table.values()))
+    return table
+
+
+# -- Fig. 12: uop cache entries per PW -------------------------------------------
+
+def fig12_entries_per_pw(
+        results: Mapping[str, SimulationResult],
+        max_bucket: int = 3) -> Dict[str, Dict[int, float]]:
+    table: Dict[str, Dict[int, float]] = {}
+    for workload, result in results.items():
+        hist = result.entries_per_pw_histogram
+        if hist is None or hist.total == 0:
+            table[workload] = {n: 0.0 for n in range(1, max_bucket + 1)}
+            continue
+        buckets = {n: hist.fraction_in(n, n) for n in range(1, max_bucket)}
+        buckets[max_bucket] = hist.fraction_in(max_bucket, 10 ** 9)
+        table[workload] = buckets
+    average = {n: arithmetic_mean([table[w][n] for w in table])
+               for n in range(1, max_bucket + 1)}
+    result_table = dict(table)
+    result_table["average"] = average
+    return result_table
+
+
+# -- Fig. 15: normalized decoder power per policy ----------------------------------
+
+def fig15_decoder_power(sweep: SweepResult,
+                        reference_label: str = "baseline") -> Dict[str, Dict[str, float]]:
+    return with_average(_metric_table(
+        sweep, lambda r: r.decoder_power, reference_label))
+
+
+# -- Fig. 16 / 20 / 22: percent UPC improvement per policy ---------------------------
+
+def fig16_upc_improvement(sweep: SweepResult,
+                          reference_label: str = "baseline") -> Dict[str, Dict[str, float]]:
+    table = sweep.improvement_percent(lambda r: r.upc, reference_label)
+    # The paper reports the geometric mean of the UPC ratios.
+    normalized = sweep.normalized(lambda r: r.upc, reference_label)
+    labels = sweep.labels()
+    gmean = {label: 100.0 * (geometric_mean(
+        [normalized[w][label] for w in normalized]) - 1.0)
+        for label in labels}
+    result = {workload: dict(values) for workload, values in table.items()}
+    result["g.mean"] = gmean
+    return result
+
+
+# -- Fig. 17 / 21: per-policy front-end metrics ---------------------------------------
+
+def fig17_policy_frontend(sweep: SweepResult,
+                          reference_label: str = "baseline") -> Dict[str, Dict]:
+    fetch = with_average(_metric_table(
+        sweep, lambda r: r.oc_fetch_ratio, reference_label))
+    dispatch = with_average(_metric_table(
+        sweep, lambda r: r.dispatch_bandwidth, reference_label))
+    latency = with_average(_metric_table(
+        sweep, lambda r: r.avg_mispredict_latency, reference_label))
+    return {"normalized_oc_fetch_ratio": fetch,
+            "normalized_dispatch_bandwidth": dispatch,
+            "normalized_mispredict_latency": latency}
+
+
+# -- Fig. 18: compacted lines ratio ------------------------------------------------------
+
+def fig18_compacted_lines(
+        results: Mapping[str, SimulationResult]) -> Dict[str, float]:
+    """Fraction of fills compacted into an existing line without eviction."""
+    table = {workload: result.compacted_fill_fraction
+             for workload, result in results.items()}
+    table["average"] = arithmetic_mean(list(table.values()))
+    return table
+
+
+# -- Fig. 19: compaction-kind distribution ------------------------------------------------
+
+def fig19_compaction_kinds(
+        results: Mapping[str, SimulationResult]) -> Dict[str, Dict[str, float]]:
+    """Among compacted fills, the share performed by RAC / PWAC / F-PWAC."""
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, result in results.items():
+        counts = result.fill_kind_counts
+        compacted = (counts.get(FillKind.RAC, 0) +
+                     counts.get(FillKind.PWAC, 0) +
+                     counts.get(FillKind.F_PWAC, 0))
+        if compacted:
+            table[workload] = {
+                "rac": counts.get(FillKind.RAC, 0) / compacted,
+                "pwac": counts.get(FillKind.PWAC, 0) / compacted,
+                "f-pwac": counts.get(FillKind.F_PWAC, 0) / compacted,
+            }
+        else:
+            table[workload] = {"rac": 0.0, "pwac": 0.0, "f-pwac": 0.0}
+    return with_average(table)

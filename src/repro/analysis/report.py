@@ -1,0 +1,82 @@
+"""Full-text report rendering for simulation results."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.metrics import SimulationResult
+from ..uopcache.cache import FillKind
+from ..uopcache.entry import EntryTermination
+from .figures import ENTRY_SIZE_BUCKETS
+
+
+def render_result(result: SimulationResult,
+                  baseline: Optional[SimulationResult] = None) -> str:
+    """Render one simulation result (optionally vs a baseline) as text."""
+    lines: List[str] = []
+    lines.append(f"workload {result.workload} | config {result.config_label}")
+    lines.append("-" * 60)
+
+    def row(name: str, value: float, fmt: str = "{:.3f}",
+            base_value: Optional[float] = None) -> None:
+        text = f"  {name:<28s}{fmt.format(value):>12s}"
+        if baseline is not None and base_value is not None and base_value:
+            text += f"  ({100 * (value / base_value - 1):+.2f}% vs baseline)"
+        lines.append(text)
+
+    base = baseline
+    lines.append("throughput")
+    row("cycles", result.cycles, "{:.0f}",
+        base.cycles if base else None)
+    row("instructions", result.instructions, "{:.0f}")
+    row("uops", result.uops, "{:.0f}")
+    row("UPC", result.upc, "{:.3f}", base.upc if base else None)
+    row("IPC", result.ipc, "{:.3f}", base.ipc if base else None)
+    row("dispatch bandwidth", result.dispatch_bandwidth, "{:.3f}",
+        base.dispatch_bandwidth if base else None)
+
+    lines.append("uop supply")
+    row("from uop cache", result.uops_from_uop_cache, "{:.0f}")
+    row("from decoder", result.uops_from_decoder, "{:.0f}")
+    if result.uops_from_loop_cache:
+        row("from loop cache", result.uops_from_loop_cache, "{:.0f}")
+    row("OC fetch ratio", result.oc_fetch_ratio, "{:.3f}",
+        base.oc_fetch_ratio if base else None)
+    row("OC hit rate", result.uop_cache_hit_rate, "{:.3f}")
+    row("OC utilization", result.uop_cache_utilization, "{:.3f}")
+    row("decoder power (a.u.)", result.decoder_power, "{:.4f}",
+        base.decoder_power if base else None)
+
+    lines.append("branches")
+    row("branch MPKI", result.branch_mpki, "{:.2f}")
+    row("avg mispredict latency", result.avg_mispredict_latency, "{:.1f}")
+    row("decode resteers", result.decode_resteers, "{:.0f}")
+
+    if result.entry_size_histogram and result.entry_size_histogram.total:
+        lines.append("uop cache entries")
+        hist = result.entry_size_histogram
+        buckets = hist.bucketed(ENTRY_SIZE_BUCKETS)
+        for name, fraction in buckets.items():
+            row(f"size {name} bytes", fraction, "{:.1%}")
+        total_terms = sum(result.entry_termination_counts.values())
+        if total_terms:
+            taken = result.entry_termination_counts.get(
+                EntryTermination.TAKEN_BRANCH, 0)
+            row("terminated by taken branch", taken / total_terms, "{:.1%}")
+        if result.entries_spanning_lines_fraction:
+            row("spanning I-cache lines",
+                result.entries_spanning_lines_fraction, "{:.1%}")
+        if result.compacted_fill_fraction:
+            row("compacted fills", result.compacted_fill_fraction, "{:.1%}")
+            kinds = result.fill_kind_counts
+            compacted = sum(kinds.get(kind, 0) for kind in
+                            (FillKind.RAC, FillKind.PWAC, FillKind.F_PWAC))
+            if compacted:
+                for kind in (FillKind.RAC, FillKind.PWAC, FillKind.F_PWAC):
+                    row(f"  via {kind.value}",
+                        kinds.get(kind, 0) / compacted, "{:.1%}")
+
+    lines.append("memory")
+    row("L1-I hit rate", result.l1i_hit_rate, "{:.3f}")
+    row("L1-D hit rate", result.l1d_hit_rate, "{:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Text rendering of tables and figure series (terminal-friendly reports)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..common.config import SimulatorConfig
+from ..workloads.suite import PAPER_BRANCH_MPKI, SUITE_GROUPS
+
+
+def render_table(rows: Mapping[str, Mapping[str, float]],
+                 title: str = "", fmt: str = "{:.3f}",
+                 column_order: Optional[Sequence[str]] = None) -> str:
+    """Render ``{row: {column: value}}`` as an aligned text table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    columns = list(column_order) if column_order else \
+        list(next(iter(rows.values()), {}))
+    name_width = max([len(str(r)) for r in rows] + [8])
+    header = " " * (name_width + 2) + "  ".join(
+        f"{str(c):>10s}" for c in columns)
+    lines.append(header)
+    for row_name, values in rows.items():
+        cells = "  ".join(
+            f"{fmt.format(values[c]):>10s}" if c in values else " " * 10
+            for c in columns)
+        lines.append(f"{str(row_name):<{name_width}s}  {cells}")
+    return "\n".join(lines)
+
+
+def render_series(series: Mapping[str, float], title: str = "",
+                  fmt: str = "{:.3f}") -> str:
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max(len(str(k)) for k in series)
+    for key, value in series.items():
+        lines.append(f"{str(key):<{width}s}  {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def render_table1(config: Optional[SimulatorConfig] = None) -> str:
+    """Render the simulated processor configuration (paper Table I)."""
+    cfg = config or SimulatorConfig()
+    oc = cfg.uop_cache
+    rows = [
+        ("Frequency", f"{cfg.core.frequency_ghz:g} GHz, x86 CISC-based ISA"),
+        ("Dispatch width", f"{cfg.core.dispatch_width} per cycle"),
+        ("Retire width", f"{cfg.core.retire_width} per cycle"),
+        ("Issue queue", f"{cfg.core.issue_queue_entries} entries"),
+        ("ROB", f"{cfg.core.rob_entries} entries"),
+        ("Uop queue", f"{cfg.core.uop_queue_entries} uops"),
+        ("Decoder", f"{cfg.decoder.latency_cycles}-cycle latency, "
+                    f"{cfg.decoder.bandwidth_insts_per_cycle} insts/cycle"),
+        ("Uop cache", f"{oc.num_sets} sets x {oc.associativity} ways, "
+                      f"{oc.line_bytes}B lines, true LRU, "
+                      f"{oc.bandwidth_uops_per_cycle} uops/cycle"),
+        ("Uop size", f"{oc.uop_bits} bits"),
+        ("Uop cache entry", f"max {oc.max_uops_per_entry} uops, "
+                            f"{oc.max_imm_disp_per_entry} imm/disp, "
+                            f"{oc.max_ucoded_per_entry} u-coded"),
+        ("CLASP", "on" if oc.clasp else "off"),
+        ("Compaction", oc.compaction.value +
+         (f", max {oc.max_entries_per_line}/line"
+          if oc.compaction.value != "none" else "")),
+        ("Branch predictor", f"TAGE ({cfg.branch.num_tagged_tables} tagged "
+                             f"tables, {cfg.branch.min_history}.."
+                             f"{cfg.branch.max_history} history)"),
+        ("BTB", f"{cfg.branch.btb_entries} entries, "
+                f"{cfg.branch.btb_branches_per_entry} branches/entry, "
+                f"{cfg.branch.btb_levels} levels"),
+        ("L1-I", _cache_row(cfg.memory.l1i) + ", bp-directed prefetch"),
+        ("L1-D", _cache_row(cfg.memory.l1d)),
+        ("L2", _cache_row(cfg.memory.l2)),
+        ("L3", _cache_row(cfg.memory.l3)),
+        ("DRAM", f"{cfg.memory.dram_latency_cycles}-cycle latency"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:<{width}s}  {value}" for name, value in rows)
+
+
+def _cache_row(level) -> str:
+    size = level.size_bytes
+    human = f"{size // 1024}KB" if size < 1024 * 1024 else \
+        f"{size // (1024 * 1024)}MB"
+    return (f"{human}, {level.associativity}-way, {level.line_bytes}B lines, "
+            f"{level.replacement.value}, {level.hit_latency_cycles}-cycle hit")
+
+
+def render_table2(measured_mpki: Optional[Mapping[str, float]] = None) -> str:
+    """Render the workload suite (paper Table II), optionally with measured
+    branch MPKI next to the paper's values."""
+    lines = [f"{'suite':<10s}{'workload':<14s}{'paper MPKI':>11s}" +
+             (f"{'measured':>11s}" if measured_mpki else "")]
+    for suite, names in SUITE_GROUPS.items():
+        for name in names:
+            row = f"{suite:<10s}{name:<14s}{PAPER_BRANCH_MPKI[name]:>11.2f}"
+            if measured_mpki:
+                row += f"{measured_mpki.get(name, float('nan')):>11.2f}"
+            lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Simplified out-of-order back-end timing model."""
+
+from .core import OutOfOrderBackend, UopTiming
+
+__all__ = ["OutOfOrderBackend", "UopTiming"]

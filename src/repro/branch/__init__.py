@@ -1,0 +1,24 @@
+"""Branch prediction: TAGE, BTB, RAS, and prediction-window construction."""
+
+from .btb import BranchTargetBuffer, BtbOutcome, BtbRecord, ReturnAddressStack
+from .predictor import BranchPredictionUnit, BranchResolution, PredictionOutcome
+from .tage import TagePredictor
+from .window import (
+    PredictionWindow,
+    PredictionWindowBuilder,
+    PwTermination,
+)
+
+__all__ = [
+    "BranchPredictionUnit",
+    "BranchResolution",
+    "BranchTargetBuffer",
+    "BtbOutcome",
+    "BtbRecord",
+    "PredictionOutcome",
+    "PredictionWindow",
+    "PredictionWindowBuilder",
+    "PwTermination",
+    "ReturnAddressStack",
+    "TagePredictor",
+]

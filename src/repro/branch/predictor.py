@@ -1,0 +1,154 @@
+"""The front-end branch prediction unit: TAGE + BTB + RAS.
+
+For every dynamic control-transfer instruction the unit produces a
+:class:`PredictionOutcome` classifying the front-end consequence:
+
+- ``CORRECT`` — predicted path matches the resolved path;
+- ``DECODE_RESTEER`` — the direction was right but the BTB had no target
+  (or the hit came from the slow BTB level), so fetch restarts from decode:
+  a short, fixed bubble;
+- ``MISPREDICT`` — direction/target wrong; the pipeline redirects when the
+  branch *resolves* in the back-end (the expensive case the paper measures).
+
+This is the standard trace-driven decomposition: prediction windows follow
+the resolved path while penalties are charged according to what the real
+predictor would have done.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.config import BranchPredictorConfig
+from ..isa.instruction import BranchKind, X86Instruction
+from .btb import BranchTargetBuffer, BtbOutcome, ReturnAddressStack
+from .tage import TagePredictor
+
+
+class PredictionOutcome(enum.Enum):
+    CORRECT = "correct"
+    DECODE_RESTEER = "decode-resteer"
+    MISPREDICT = "mispredict"
+
+
+@dataclass
+class BranchResolution:
+    outcome: PredictionOutcome
+    predicted_taken: bool
+    actual_taken: bool
+
+
+class BranchPredictionUnit:
+    """Combines direction, target and return-address prediction."""
+
+    def __init__(self, config: Optional[BranchPredictorConfig] = None) -> None:
+        self.config = config or BranchPredictorConfig()
+        self.tage = TagePredictor(self.config)
+        self.btb = BranchTargetBuffer(self.config)
+        self.ras = ReturnAddressStack(self.config.ras_entries)
+        self.branches = 0
+        self.mispredicts = 0
+        self.decode_resteers = 0
+
+    def observe(self, inst: X86Instruction, taken: bool,
+                actual_target: int) -> BranchResolution:
+        """Resolve one dynamic branch; updates all predictor state."""
+        if not inst.is_branch:
+            raise ValueError(f"instruction at {inst.address:#x} is not a branch")
+        self.branches += 1
+        if self.config.perfect:
+            # Limit study: still trains the predictors (so statistics stay
+            # meaningful) but never reports a redirect.
+            self._train_only(inst, taken, actual_target)
+            return BranchResolution(PredictionOutcome.CORRECT, taken, taken)
+        kind = inst.branch_kind
+
+        if kind is BranchKind.CONDITIONAL:
+            resolution = self._observe_conditional(inst, taken, actual_target)
+        elif kind in (BranchKind.UNCONDITIONAL, BranchKind.CALL):
+            resolution = self._observe_direct(inst, actual_target)
+            if kind is BranchKind.CALL:
+                self.ras.push(inst.end_address)
+        elif kind is BranchKind.INDIRECT_CALL:
+            resolution = self._observe_indirect(inst, actual_target)
+            self.ras.push(inst.end_address)
+        elif kind is BranchKind.RET:
+            resolution = self._observe_return(inst, actual_target)
+        elif kind is BranchKind.INDIRECT:
+            resolution = self._observe_indirect(inst, actual_target)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unhandled branch kind {kind}")
+
+        if resolution.outcome is PredictionOutcome.MISPREDICT:
+            self.mispredicts += 1
+        elif resolution.outcome is PredictionOutcome.DECODE_RESTEER:
+            self.decode_resteers += 1
+        return resolution
+
+    def _observe_conditional(self, inst: X86Instruction, taken: bool,
+                             actual_target: int) -> BranchResolution:
+        predicted_taken = self.tage.predict(inst.address)
+        self.tage.update(inst.address, taken)
+        if predicted_taken != taken:
+            if taken:
+                self.btb.install(inst.address, actual_target, inst.branch_kind)
+            return BranchResolution(
+                PredictionOutcome.MISPREDICT, predicted_taken, taken)
+        if taken:
+            btb_outcome, record = self.btb.lookup(inst.address)
+            self.btb.install(inst.address, actual_target, inst.branch_kind)
+            if btb_outcome is BtbOutcome.MISS or record is None:
+                return BranchResolution(
+                    PredictionOutcome.DECODE_RESTEER, predicted_taken, taken)
+            if record.target != actual_target:
+                return BranchResolution(
+                    PredictionOutcome.MISPREDICT, predicted_taken, taken)
+        return BranchResolution(PredictionOutcome.CORRECT, predicted_taken, taken)
+
+    def _observe_direct(self, inst: X86Instruction,
+                        actual_target: int) -> BranchResolution:
+        btb_outcome, record = self.btb.lookup(inst.address)
+        self.btb.install(inst.address, actual_target, inst.branch_kind)
+        if btb_outcome is BtbOutcome.MISS or record is None:
+            return BranchResolution(PredictionOutcome.DECODE_RESTEER, True, True)
+        return BranchResolution(PredictionOutcome.CORRECT, True, True)
+
+    def _observe_return(self, inst: X86Instruction,
+                        actual_target: int) -> BranchResolution:
+        predicted = self.ras.pop()
+        if predicted is None or predicted != actual_target:
+            return BranchResolution(PredictionOutcome.MISPREDICT, True, True)
+        return BranchResolution(PredictionOutcome.CORRECT, True, True)
+
+    def _observe_indirect(self, inst: X86Instruction,
+                          actual_target: int) -> BranchResolution:
+        btb_outcome, record = self.btb.lookup(inst.address)
+        self.btb.update_target(inst.address, actual_target, inst.branch_kind)
+        if btb_outcome is BtbOutcome.MISS or record is None or \
+                record.target != actual_target:
+            return BranchResolution(PredictionOutcome.MISPREDICT, True, True)
+        return BranchResolution(PredictionOutcome.CORRECT, True, True)
+
+    def _train_only(self, inst: X86Instruction, taken: bool,
+                    actual_target: int) -> None:
+        kind = inst.branch_kind
+        if kind is BranchKind.CONDITIONAL:
+            self.tage.update(inst.address, taken)
+            if taken:
+                self.btb.install(inst.address, actual_target, kind)
+        elif kind in (BranchKind.UNCONDITIONAL, BranchKind.CALL,
+                      BranchKind.INDIRECT_CALL, BranchKind.INDIRECT):
+            self.btb.install(inst.address, actual_target, kind)
+            if kind in (BranchKind.CALL, BranchKind.INDIRECT_CALL):
+                self.ras.push(inst.end_address)
+        elif kind is BranchKind.RET:
+            self.ras.pop()
+
+    @property
+    def mpki_denominator(self) -> int:
+        return self.branches
+
+    def mpki(self, instructions: int) -> float:
+        return 1000.0 * self.mispredicts / instructions if instructions else 0.0

@@ -1,0 +1,247 @@
+"""TAGE conditional branch direction predictor (Seznec, Table I).
+
+A faithful, compact TAGE: a bimodal base predictor plus ``N`` tagged tables
+indexed by geometrically increasing global-history lengths.  Folded-history
+registers are maintained incrementally so each prediction is O(number of
+tables) rather than O(history length).
+
+The predictor exposes ``predict(pc) -> bool`` and ``update(pc, taken)``;
+the simulator calls them for every dynamic conditional branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..common.config import BranchPredictorConfig
+
+
+class _FoldedHistory:
+    """A cyclically folded view of the newest ``original_length`` history bits."""
+
+    __slots__ = ("value", "original_length", "compressed_length", "_out_bit")
+
+    def __init__(self, original_length: int, compressed_length: int) -> None:
+        self.value = 0
+        self.original_length = original_length
+        self.compressed_length = compressed_length
+        self._out_bit = original_length % compressed_length
+
+    def update(self, new_bit: int, dropped_bit: int) -> None:
+        """Canonical Seznec update: shift in the new bit, cancel the bit
+        ageing out of the window at position ``original_length mod
+        compressed_length``, then fold the overflow bit back in.  The
+        register then always equals the XOR-fold of the newest
+        ``original_length`` history bits (checked against a from-scratch
+        recomputation in tests/test_tage_folding.py)."""
+        mask = (1 << self.compressed_length) - 1
+        value = (self.value << 1) | new_bit
+        value ^= dropped_bit << self._out_bit
+        self.value = (value ^ (value >> self.compressed_length)) & mask
+
+
+@dataclass
+class _TaggedEntry:
+    tag: int = 0
+    counter: int = 0      # signed 3-bit: -4..3, >= 0 means taken
+    useful: int = 0       # 2-bit useful counter
+
+
+class TagePredictor:
+    """TAGE with a 2-bit bimodal base and ``num_tagged_tables`` tagged tables."""
+
+    def __init__(self, config: Optional[BranchPredictorConfig] = None) -> None:
+        self.config = config or BranchPredictorConfig()
+        cfg = self.config
+        self._base_mask = (1 << cfg.base_entries_log2) - 1
+        self._base = [2] * (1 << cfg.base_entries_log2)  # weakly taken... 0..3
+        self._num_tables = cfg.num_tagged_tables
+        self._entries_log2 = cfg.table_entries_log2
+        self._index_mask = (1 << cfg.table_entries_log2) - 1
+        self._tag_mask = (1 << cfg.tag_bits) - 1
+        self._tables: List[List[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(1 << cfg.table_entries_log2)]
+            for _ in range(self._num_tables)]
+        self._history_lengths = self._geometric_lengths()
+        self._history_bits: List[int] = []
+        self._index_folds = [
+            _FoldedHistory(length, cfg.table_entries_log2)
+            for length in self._history_lengths]
+        self._tag_folds_a = [
+            _FoldedHistory(length, cfg.tag_bits)
+            for length in self._history_lengths]
+        self._tag_folds_b = [
+            _FoldedHistory(length, cfg.tag_bits - 1)
+            for length in self._history_lengths]
+        self._use_alt_on_new = 0   # 4-bit signed confidence in alt prediction
+        self._rng_state = 0x9E3779B9
+        # Stats for tests / reports.
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # -- configuration ------------------------------------------------------
+
+    def _geometric_lengths(self) -> List[int]:
+        cfg = self.config
+        n = self._num_tables
+        if n == 1:
+            return [cfg.min_history]
+        ratio = (cfg.max_history / cfg.min_history) ** (1.0 / (n - 1))
+        lengths = []
+        for i in range(n):
+            length = int(round(cfg.min_history * (ratio ** i)))
+            if lengths and length <= lengths[-1]:
+                length = lengths[-1] + 1
+            lengths.append(length)
+        lengths[-1] = cfg.max_history
+        return lengths
+
+    @property
+    def history_lengths(self) -> Tuple[int, ...]:
+        return tuple(self._history_lengths)
+
+    # -- hashing -------------------------------------------------------------
+
+    def _table_index(self, pc: int, table: int) -> int:
+        fold = self._index_folds[table].value
+        length = self._history_lengths[table]
+        return (pc ^ (pc >> (self._entries_log2 - table % 4)) ^ fold ^
+                (length << 2)) & self._index_mask
+
+    def _table_tag(self, pc: int, table: int) -> int:
+        return (pc ^ self._tag_folds_a[table].value ^
+                (self._tag_folds_b[table].value << 1)) & self._tag_mask
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        provider, alt, _, _ = self._lookup(pc)
+        if provider is None:
+            return self._base_prediction(pc)
+        table, index = provider
+        entry = self._tables[table][index]
+        weak = entry.counter in (-1, 0)
+        if weak and self._use_alt_on_new >= self.config.use_alt_threshold:
+            return self._alt_prediction(pc, alt)
+        return entry.counter >= 0
+
+    def _base_prediction(self, pc: int) -> bool:
+        return self._base[pc & self._base_mask] >= 2
+
+    def _alt_prediction(self, pc: int,
+                        alt: Optional[Tuple[int, int]]) -> bool:
+        if alt is None:
+            return self._base_prediction(pc)
+        table, index = alt
+        return self._tables[table][index].counter >= 0
+
+    def _lookup(self, pc: int):
+        """Return (provider, alt, provider_pred, alt_pred) component hits."""
+        provider = alt = None
+        for table in range(self._num_tables - 1, -1, -1):
+            index = self._table_index(pc, table)
+            if self._tables[table][index].tag == self._table_tag(pc, table):
+                if provider is None:
+                    provider = (table, index)
+                else:
+                    alt = (table, index)
+                    break
+        return provider, alt, None, None
+
+    # -- update ----------------------------------------------------------------
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Update with the resolved outcome; returns True on misprediction."""
+        prediction = self.predict(pc)
+        mispredicted = prediction != taken
+        self.predictions += 1
+        if mispredicted:
+            self.mispredictions += 1
+
+        provider, alt, _, _ = self._lookup(pc)
+        if provider is not None:
+            table, index = provider
+            entry = self._tables[table][index]
+            provider_pred = entry.counter >= 0
+            alt_pred = self._alt_prediction(pc, alt)
+            # Track whether the alternate would have done better on weak hits.
+            if entry.counter in (-1, 0) and provider_pred != alt_pred:
+                if alt_pred == taken:
+                    self._use_alt_on_new = min(15, self._use_alt_on_new + 1)
+                else:
+                    self._use_alt_on_new = max(-16, self._use_alt_on_new - 1)
+            entry.counter = _update_signed(entry.counter, taken, lo=-4, hi=3)
+            if provider_pred != alt_pred:
+                if provider_pred == taken:
+                    entry.useful = min(3, entry.useful + 1)
+                else:
+                    entry.useful = max(0, entry.useful - 1)
+        else:
+            base_index = pc & self._base_mask
+            counter = self._base[base_index]
+            self._base[base_index] = _update_unsigned(counter, taken)
+
+        if mispredicted:
+            self._allocate(pc, taken, provider)
+
+        self._push_history(pc, taken)
+        return mispredicted
+
+    def _allocate(self, pc: int, taken: bool,
+                  provider: Optional[Tuple[int, int]]) -> None:
+        start = provider[0] + 1 if provider is not None else 0
+        candidates = []
+        for table in range(start, self._num_tables):
+            index = self._table_index(pc, table)
+            if self._tables[table][index].useful == 0:
+                candidates.append((table, index))
+        if not candidates:
+            # Decay usefulness so future allocations can succeed.
+            for table in range(start, self._num_tables):
+                index = self._table_index(pc, table)
+                entry = self._tables[table][index]
+                entry.useful = max(0, entry.useful - 1)
+            return
+        # Prefer the shortest-history candidate with some randomization
+        # (classic TAGE anti-ping-pong allocation).
+        self._rng_state = (self._rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+        if len(candidates) > 1 and (self._rng_state & 3) == 0:
+            choice = candidates[1]
+        else:
+            choice = candidates[0]
+        table, index = choice
+        entry = self._tables[table][index]
+        entry.tag = self._table_tag(pc, table)
+        entry.counter = 0 if taken else -1
+        entry.useful = 0
+
+    def _push_history(self, pc: int, taken: bool) -> None:
+        new_bit = 1 if taken else 0
+        self._history_bits.append(new_bit)
+        max_needed = self._history_lengths[-1]
+        history = self._history_bits
+        for table in range(self._num_tables):
+            length = self._history_lengths[table]
+            dropped = history[-length - 1] if len(history) > length else 0
+            self._index_folds[table].update(new_bit, dropped)
+            self._tag_folds_a[table].update(new_bit, dropped)
+            self._tag_folds_b[table].update(new_bit, dropped)
+        if len(history) > max_needed + 1:
+            del history[:-max_needed - 1]
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+
+def _update_signed(counter: int, taken: bool, lo: int, hi: int) -> int:
+    if taken:
+        return min(hi, counter + 1)
+    return max(lo, counter - 1)
+
+
+def _update_unsigned(counter: int, taken: bool, lo: int = 0, hi: int = 3) -> int:
+    if taken:
+        return min(hi, counter + 1)
+    return max(lo, counter - 1)

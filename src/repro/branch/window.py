@@ -1,0 +1,126 @@
+"""Prediction-window (PW) construction (Section II-A of the paper).
+
+In a decoupled front end the branch predictor emits *prediction windows*: a
+range of consecutive instructions predicted to execute.  A PW
+
+- can start anywhere in an I-cache line (it starts wherever the previous PW
+  redirected to, or fell through to);
+- terminates at the end of the I-cache line (a PW never spans lines);
+- terminates at a predicted-taken branch;
+- terminates after a predefined number of predicted not-taken branches.
+
+This module segments a resolved dynamic trace into the PW stream the branch
+predictor would have produced on the correct path (the trace-driven
+approximation; mispredicted branches are charged at resolution by the
+simulator, see :mod:`repro.branch.predictor`).
+
+The PW identifier used by PW-aware compaction (PWAC/F-PWAC) is the PW's
+*start physical address*: the same static window re-predicted later carries
+the same ID.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..common.config import BranchPredictorConfig
+from ..workloads.trace import Trace
+
+
+class PwTermination(enum.Enum):
+    LINE_END = "line-end"
+    TAKEN_BRANCH = "taken-branch"
+    MAX_NOT_TAKEN = "max-not-taken"
+    TRACE_END = "trace-end"
+
+
+@dataclass
+class PredictionWindow:
+    """One prediction window over ``trace.records[first:last+1]``."""
+
+    pw_id: int                 # start physical address (stable static identity)
+    first: int                 # first trace record index (inclusive)
+    last: int                  # last trace record index (inclusive)
+    start_pc: int
+    end_pc: int                # first byte past the last instruction
+    next_pc: int               # where control flow goes after this PW
+    termination: PwTermination
+
+    @property
+    def num_instructions(self) -> int:
+        return self.last - self.first + 1
+
+    def record_indices(self) -> range:
+        return range(self.first, self.last + 1)
+
+
+class PredictionWindowBuilder:
+    """Streams PWs from a trace.
+
+    The builder is a pure function of (trace, line size, NT-branch limit);
+    it holds no predictor state because trace-driven PWs follow the resolved
+    path.
+    """
+
+    def __init__(self, trace: Trace, line_bytes: int = 64,
+                 config: Optional[BranchPredictorConfig] = None) -> None:
+        self.trace = trace
+        self.line_bytes = line_bytes
+        self.config = config or BranchPredictorConfig()
+
+    def windows(self) -> Iterator[PredictionWindow]:
+        trace = self.trace
+        program = trace.program
+        line_bytes = self.line_bytes
+        max_not_taken = self.config.max_not_taken_branches_per_pw
+        records = trace.records
+        total = len(records)
+        index = 0
+
+        while index < total:
+            first = index
+            start_pc = records[index].pc
+            start_line = start_pc // line_bytes
+            not_taken_seen = 0
+            termination = PwTermination.TRACE_END
+
+            while True:
+                record = records[index]
+                inst = program.at(record.pc)
+                taken = record.next_pc != inst.end_address
+                index += 1
+
+                if inst.is_branch and (taken or inst.is_unconditional_transfer):
+                    termination = PwTermination.TAKEN_BRANCH
+                    break
+                if inst.is_branch:
+                    not_taken_seen += 1
+                    if not_taken_seen >= max_not_taken:
+                        termination = PwTermination.MAX_NOT_TAKEN
+                        break
+                # Line boundary: the next sequential instruction would start
+                # outside the PW's I-cache line.
+                if record.next_pc // line_bytes != start_line:
+                    termination = PwTermination.LINE_END
+                    break
+                if index >= total:
+                    termination = PwTermination.TRACE_END
+                    break
+
+            last = index - 1
+            last_record = records[last]
+            last_inst = program.at(last_record.pc)
+            yield PredictionWindow(
+                pw_id=start_pc,
+                first=first,
+                last=last,
+                start_pc=start_pc,
+                end_pc=last_inst.end_address,
+                next_pc=last_record.next_pc,
+                termination=termination,
+            )
+
+    def all_windows(self) -> List[PredictionWindow]:
+        return list(self.windows())

@@ -1,0 +1,21 @@
+"""Conventional cache structures: replacement, set-associative tags, hierarchy."""
+
+from .hierarchy import MemoryHierarchy
+from .replacement import (
+    ReplacementPolicy,
+    Srrip,
+    TreePlru,
+    TrueLru,
+    make_policy,
+)
+from .setassoc import SetAssociativeCache
+
+__all__ = [
+    "MemoryHierarchy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "Srrip",
+    "TreePlru",
+    "TrueLru",
+    "make_policy",
+]

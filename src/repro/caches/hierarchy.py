@@ -1,0 +1,100 @@
+"""Three-level cache hierarchy with instruction- and data-side access paths.
+
+The hierarchy answers latency questions only ("how many cycles until these
+bytes are available?"), which is all the timing model needs.  L2 is unified;
+L3 is shared (we simulate one core, so sharing only affects capacity).  The
+L1-I employs a branch-prediction-directed next-line prefetcher, as in
+Table I: when fetch touches line ``L`` on the predicted path, line ``L+1`` is
+prefetched, hiding the sequential-miss latency the paper's baseline assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import MemoryHierarchyConfig
+from ..common.statistics import StatGroup
+from .setassoc import SetAssociativeCache
+
+
+class MemoryHierarchy:
+    """L1-I / L1-D / unified L2 / L3 / DRAM latency model."""
+
+    def __init__(self, config: Optional[MemoryHierarchyConfig] = None) -> None:
+        self.config = config or MemoryHierarchyConfig()
+        cfg = self.config
+        self.l1i = SetAssociativeCache(cfg.l1i)
+        self.l1d = SetAssociativeCache(cfg.l1d)
+        self.l2 = SetAssociativeCache(cfg.l2)
+        self.l3 = SetAssociativeCache(cfg.l3)
+        self.stats = StatGroup("hierarchy")
+        self._i_prefetches = self.stats.counter("icache_prefetches")
+        self._i_prefetch_hits = self.stats.counter("icache_prefetch_line_hits")
+        self._line_bytes = cfg.l1i.line_bytes
+
+    # -- instruction side -----------------------------------------------------
+
+    def fetch_instruction_line(self, address: int) -> int:
+        """Access the I-side for the line containing ``address``; returns
+        latency in cycles and fills all levels on the way down."""
+        latency = self._access(address, self.l1i)
+        if self.config.icache_prefetch:
+            self._prefetch_next_line(address)
+        return latency
+
+    def _prefetch_next_line(self, address: int) -> None:
+        next_line = (address // self._line_bytes + 1) * self._line_bytes
+        if not self.l1i.contains(next_line):
+            self._i_prefetches.increment()
+            # Prefetch pulls the line in through the hierarchy; its latency is
+            # off the critical path, so we model only the state change.
+            self._fill_all(next_line, self.l1i)
+        else:
+            self._i_prefetch_hits.increment()
+
+    # -- data side ------------------------------------------------------------
+
+    def access_data(self, address: int, is_store: bool = False) -> int:
+        """Load/store latency (stores complete post-retirement; we return the
+        lookup latency for completeness).  A next-line stream prefetcher runs
+        on L1-D misses (Table I: every data level employs prefetchers)."""
+        latency = self._access(address, self.l1d)
+        # Stream prefetch: keep the next line resident on every access so a
+        # forward-striding stream never exposes its compulsory misses (real
+        # stride prefetchers run several lines ahead; latency is off the
+        # critical path, so only the state change is modeled).
+        next_line = (address // self.config.l1d.line_bytes + 1) * \
+            self.config.l1d.line_bytes
+        if not self.l1d.contains(next_line):
+            self._fill_all(next_line, self.l1d)
+        return latency
+
+    # -- shared machinery -------------------------------------------------------
+
+    def _access(self, address: int, l1: SetAssociativeCache) -> int:
+        cfg = self.config
+        if l1.lookup(address):
+            return l1.config.hit_latency_cycles
+        latency = l1.config.hit_latency_cycles
+        if self.l2.lookup(address):
+            latency += self.l2.config.hit_latency_cycles
+            l1.fill(address)
+            return latency
+        latency += self.l2.config.hit_latency_cycles
+        if self.l3.lookup(address):
+            latency += self.l3.config.hit_latency_cycles
+            self.l2.fill(address)
+            l1.fill(address)
+            return latency
+        latency += self.l3.config.hit_latency_cycles + cfg.dram_latency_cycles
+        self._fill_all(address, l1)
+        return latency
+
+    def _fill_all(self, address: int, l1: SetAssociativeCache) -> None:
+        self.l3.fill(address)
+        self.l2.fill(address)
+        l1.fill(address)
+
+    def invalidate_instruction_line(self, address: int) -> None:
+        """SMC-style I-side invalidation (L1-I only; L2/L3 are unified)."""
+        self.l1i.invalidate(address)

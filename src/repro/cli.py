@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``            simulate one workload under one design
+- ``smt``            co-run two+ workloads on a shared uop cache
+- ``sweep-capacity`` the paper's Fig. 3/4 capacity sweep
+- ``sweep-policy``   the paper's Fig. 15-17 design comparison
+- ``table1``         render the simulated configuration (paper Table I)
+- ``table2``         render the workload suite (paper Table II)
+- ``workloads``      list the available workload profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.charts import render_grouped_bars
+from .analysis.report import render_result
+from .analysis.tables import render_table, render_table1, render_table2
+from .common.config import SimulatorConfig
+from .core.experiment import (
+    CAPACITY_SWEEP,
+    POLICY_LABELS,
+    policy_config,
+    run_capacity_sweep,
+    run_policy_sweep,
+    workload_trace,
+)
+from .core.simulator import Simulator
+from .core.smt import simulate_smt
+from .workloads.suite import (
+    PAPER_BRANCH_MPKI,
+    WORKLOAD_NAMES,
+    get_profile,
+)
+
+
+def _build_config(args) -> SimulatorConfig:
+    config = policy_config(args.design, args.capacity,
+                           getattr(args, "max_entries", 2))
+    return dataclasses.replace(config, warmup_instructions=args.warmup)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--design", default="baseline",
+                        choices=list(POLICY_LABELS),
+                        help="uop cache design (default: baseline)")
+    parser.add_argument("--capacity", type=int, default=2048,
+                        help="uop cache capacity in uops (default: 2048)")
+    parser.add_argument("--instructions", type=int, default=100_000,
+                        help="trace length (default: 100000)")
+    parser.add_argument("--warmup", type=int, default=0,
+                        help="warmup instructions excluded from metrics")
+    parser.add_argument("--max-entries", type=int, default=2,
+                        help="max compacted entries per line (default: 2)")
+
+
+def _cmd_run(args) -> int:
+    trace = workload_trace(args.workload, args.instructions)
+    config = _build_config(args)
+    result = Simulator(trace, config, args.design).run()
+    baseline = None
+    if args.compare_baseline and args.design != "baseline":
+        base_config = dataclasses.replace(
+            policy_config("baseline", args.capacity),
+            warmup_instructions=args.warmup)
+        baseline = Simulator(trace, base_config, "baseline").run()
+    print(render_result(result, baseline))
+    return 0
+
+
+def _cmd_smt(args) -> int:
+    traces = [workload_trace(name, args.instructions)
+              for name in args.workloads]
+    config = _build_config(args)
+    result = simulate_smt(traces, config, args.design)
+    print(f"SMT co-run of {', '.join(args.workloads)} "
+          f"under {args.design} ({args.capacity} uops)\n")
+    for thread_result in result.per_thread:
+        print(render_result(thread_result))
+        print()
+    summary = result.summary()
+    print(f"aggregate UPC:         {summary['aggregate_upc']:.3f}")
+    print(f"aggregate fetch ratio: {summary['aggregate_fetch_ratio']:.3f}")
+    return 0
+
+
+def _parse_workloads(value: Optional[str]) -> Sequence[str]:
+    if not value:
+        return WORKLOAD_NAMES
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    for name in names:
+        get_profile(name)   # raises on unknown names
+    return names
+
+
+def _cmd_sweep_capacity(args) -> int:
+    workloads = _parse_workloads(args.workloads)
+    sweep = run_capacity_sweep(
+        workloads=workloads, capacities=CAPACITY_SWEEP,
+        num_instructions=args.instructions,
+        warmup_instructions=args.warmup,
+        progress=(lambda line: print("  " + line, file=sys.stderr))
+        if args.verbose else None)
+    print(render_table(sweep.normalized(lambda r: r.upc, "OC_2K"),
+                       title="UPC normalized to 2K"))
+    print()
+    print(render_table(
+        sweep.normalized(lambda r: r.decoder_power, "OC_2K"),
+        title="Decoder power normalized to 2K"))
+    print()
+    print(render_table(
+        sweep.normalized(lambda r: r.oc_fetch_ratio, "OC_2K"),
+        title="OC fetch ratio normalized to 2K"))
+    return 0
+
+
+def _cmd_sweep_policy(args) -> int:
+    workloads = _parse_workloads(args.workloads)
+    sweep = run_policy_sweep(
+        workloads=workloads, capacity_uops=args.capacity,
+        max_entries_per_line=args.max_entries,
+        num_instructions=args.instructions,
+        warmup_instructions=args.warmup,
+        progress=(lambda line: print("  " + line, file=sys.stderr))
+        if args.verbose else None)
+    improvement = sweep.improvement_percent(lambda r: r.upc, "baseline")
+    print(render_table(improvement, title="% UPC improvement over baseline",
+                       fmt="{:+.2f}", column_order=list(POLICY_LABELS)))
+    print()
+    normalized_fetch = sweep.normalized(
+        lambda r: r.oc_fetch_ratio, "baseline")
+    if args.chart:
+        print(render_grouped_bars(
+            normalized_fetch, title="OC fetch ratio normalized to baseline",
+            column_order=list(POLICY_LABELS)))
+    else:
+        print(render_table(
+            normalized_fetch, title="OC fetch ratio normalized to baseline",
+            column_order=list(POLICY_LABELS)))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    config = policy_config(args.design, args.capacity)
+    print(render_table1(config))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    measured = None
+    if args.measure:
+        measured = {}
+        for name in WORKLOAD_NAMES:
+            trace = workload_trace(name, args.instructions)
+            config = policy_config("baseline", 2048)
+            measured[name] = Simulator(trace, config, "b").run().branch_mpki
+    print(render_table2(measured))
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    for name in WORKLOAD_NAMES:
+        profile = get_profile(name)
+        print(f"{name:<14s} {profile.num_functions:4d} functions, "
+              f"paper MPKI {PAPER_BRANCH_MPKI[name]:5.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Uop cache utilization reproduction (MICRO 2020)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="simulate one workload under one design")
+    run_parser.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    _add_common(run_parser)
+    run_parser.add_argument("--compare-baseline", action="store_true",
+                            help="also run the baseline and show deltas")
+    run_parser.set_defaults(func=_cmd_run)
+
+    smt_parser = commands.add_parser(
+        "smt", help="co-run 2+ workloads on a shared uop cache")
+    smt_parser.add_argument("workloads", nargs="+",
+                            choices=list(WORKLOAD_NAMES))
+    _add_common(smt_parser)
+    smt_parser.set_defaults(func=_cmd_smt)
+
+    capacity_parser = commands.add_parser(
+        "sweep-capacity", help="Fig. 3/4 capacity sweep")
+    capacity_parser.add_argument("--workloads", default="",
+                                 help="comma-separated subset")
+    capacity_parser.add_argument("--instructions", type=int, default=100_000)
+    capacity_parser.add_argument("--warmup", type=int, default=20_000)
+    capacity_parser.add_argument("--verbose", action="store_true")
+    capacity_parser.set_defaults(func=_cmd_sweep_capacity)
+
+    policy_parser = commands.add_parser(
+        "sweep-policy", help="Fig. 15-17 design comparison")
+    policy_parser.add_argument("--workloads", default="",
+                               help="comma-separated subset")
+    policy_parser.add_argument("--capacity", type=int, default=2048)
+    policy_parser.add_argument("--max-entries", type=int, default=2)
+    policy_parser.add_argument("--instructions", type=int, default=100_000)
+    policy_parser.add_argument("--warmup", type=int, default=20_000)
+    policy_parser.add_argument("--verbose", action="store_true")
+    policy_parser.add_argument("--chart", action="store_true",
+                               help="render bars instead of a table")
+    policy_parser.set_defaults(func=_cmd_sweep_policy)
+
+    table1_parser = commands.add_parser(
+        "table1", help="render the simulated configuration")
+    table1_parser.add_argument("--design", default="baseline",
+                               choices=list(POLICY_LABELS))
+    table1_parser.add_argument("--capacity", type=int, default=2048)
+    table1_parser.set_defaults(func=_cmd_table1)
+
+    table2_parser = commands.add_parser(
+        "table2", help="render the workload suite")
+    table2_parser.add_argument("--measure", action="store_true",
+                               help="also measure branch MPKI (slow)")
+    table2_parser.add_argument("--instructions", type=int, default=50_000)
+    table2_parser.set_defaults(func=_cmd_table2)
+
+    workloads_parser = commands.add_parser(
+        "workloads", help="list available workloads")
+    workloads_parser.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. head).
+        return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class WorkloadError(ReproError):
+    """A workload/program/trace was malformed or could not be generated."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class CacheError(ReproError):
+    """A cache structure was used incorrectly (bad index, bad fill, ...)."""

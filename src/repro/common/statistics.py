@@ -1,0 +1,159 @@
+"""Lightweight statistics primitives used across all simulator components.
+
+The simulator prefers explicit, named counters over ad-hoc attributes so that
+every structure can dump a coherent, flat report.  Three primitives cover all
+needs:
+
+- :class:`Counter` — a named monotonically increasing count.
+- :class:`Histogram` — integer-bucketed distribution with helpers for
+  percentage breakdowns (used for e.g. entry-size distributions, Fig. 5).
+- :class:`RunningMean` — a numerically stable streaming mean (e.g. branch
+  misprediction latency).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """An integer histogram with named-range bucketing helpers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counts: Dict[int, int] = defaultdict(int)
+
+    def record(self, value: int, weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError("histogram weight must be non-negative")
+        self._counts[int(value)] += weight
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def counts(self) -> Mapping[int, int]:
+        return dict(self._counts)
+
+    def mean(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(v * c for v, c in self._counts.items()) / total
+
+    def fraction_in(self, low: int, high: int) -> float:
+        """Fraction of samples with ``low <= value <= high``."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        hits = sum(c for v, c in self._counts.items() if low <= v <= high)
+        return hits / total
+
+    def bucketed(self, edges: Sequence[Tuple[int, int]]) -> Dict[str, float]:
+        """Return ``{"lo-hi": fraction}`` for each inclusive ``(lo, hi)`` edge pair."""
+        return {f"{lo}-{hi}": self.fraction_in(lo, hi) for lo, hi in edges}
+
+    def merge(self, other: "Histogram") -> None:
+        for value, count in other._counts.items():
+            self._counts[value] += count
+
+
+@dataclass
+class RunningMean:
+    """Numerically stable streaming mean with sample count."""
+
+    name: str
+    count: int = 0
+    _mean: float = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self._mean += (value - self._mean) / self.count
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+
+class StatGroup:
+    """A flat, ordered collection of counters/histograms/means for one component.
+
+    Components create their stats through a group so that reports stay
+    consistent: ``group.counter("hits")`` both registers and returns the stat.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._means: Dict[str, RunningMean] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(f"{self.prefix}.{name}")
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(f"{self.prefix}.{name}")
+        return self._histograms[name]
+
+    def running_mean(self, name: str) -> RunningMean:
+        if name not in self._means:
+            self._means[name] = RunningMean(f"{self.prefix}.{name}")
+        return self._means[name]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten every stat into ``{fully.qualified.name: value}``."""
+        report: Dict[str, float] = {}
+        for counter in self._counters.values():
+            report[counter.name] = counter.value
+        for mean in self._means.values():
+            report[f"{mean.name}.mean"] = mean.mean
+            report[f"{mean.name}.count"] = mean.count
+        for hist in self._histograms.values():
+            report[f"{hist.name}.total"] = hist.total
+            report[f"{hist.name}.mean"] = hist.mean()
+        return report
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A 0-safe division used throughout metric computation."""
+    return numerator / denominator if denominator else 0.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values (paper reports G. Mean UPC)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,21 @@
+"""Top-level simulation: the simulator, metrics, and experiment harness."""
+
+from .metrics import SimulationResult
+from .smt import SmtResult, SmtSimulator, simulate_smt
+from .simulator import (
+    DECODE_RESTEER_PENALTY,
+    MISPREDICT_REDIRECT_PENALTY,
+    Simulator,
+    simulate,
+)
+
+__all__ = [
+    "DECODE_RESTEER_PENALTY",
+    "MISPREDICT_REDIRECT_PENALTY",
+    "SimulationResult",
+    "Simulator",
+    "SmtResult",
+    "SmtSimulator",
+    "simulate",
+    "simulate_smt",
+]

@@ -1,0 +1,186 @@
+"""Experiment harness: sweeps, normalization, and suite aggregation.
+
+Every figure of the paper is one of two sweeps:
+
+- a **capacity sweep** (Figs. 3-4): the baseline design at 2K..64K uops;
+- a **policy sweep** (Figs. 15-22): baseline / CLASP / CLASP+RAC /
+  CLASP+PWAC / CLASP+F-PWAC at a fixed capacity.
+
+The harness runs them over the workload suite, reusing one generated trace
+per workload across all configurations (the paper does the same: one trace,
+many simulator configs), and provides the normalizations the paper plots
+(everything relative to the 2K baseline unless stated otherwise).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..common.config import (
+    CompactionPolicy,
+    SimulatorConfig,
+    baseline_config,
+    clasp_config,
+    compaction_config,
+)
+from ..common.statistics import arithmetic_mean, geometric_mean
+from ..workloads.suite import WORKLOAD_NAMES, get_workload
+from ..workloads.trace import Trace
+from .metrics import SimulationResult
+from .simulator import Simulator
+
+#: Capacities of the paper's Fig. 3/4 sweep (uops).
+CAPACITY_SWEEP = (2048, 4096, 8192, 16384, 32768, 65536)
+
+#: Policy labels in the paper's presentation order.
+POLICY_LABELS = ("baseline", "clasp", "rac", "pwac", "f-pwac")
+
+#: Default trace length per workload (dynamic instructions).  Long enough to
+#: cycle each workload's footprint through the uop cache many times, short
+#: enough to keep a full-suite sweep tractable in pure Python.
+DEFAULT_TRACE_INSTRUCTIONS = 120_000
+
+
+def policy_config(label: str, capacity_uops: int = 2048,
+                  max_entries_per_line: int = 2) -> SimulatorConfig:
+    """Map a paper policy label to a simulator configuration.
+
+    As in the paper, all compaction configurations also enable CLASP.
+    """
+    if label == "baseline":
+        return baseline_config(capacity_uops)
+    if label == "clasp":
+        return clasp_config(capacity_uops)
+    policies = {
+        "rac": CompactionPolicy.RAC,
+        "pwac": CompactionPolicy.PWAC,
+        "f-pwac": CompactionPolicy.F_PWAC,
+    }
+    if label not in policies:
+        raise ValueError(f"unknown policy label {label!r}")
+    return compaction_config(policies[label], capacity_uops,
+                             max_entries_per_line=max_entries_per_line)
+
+
+_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
+
+
+def workload_trace(name: str, num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
+                   seed: int = 7) -> Trace:
+    """Build (and memoise) the dynamic trace for a named workload."""
+    key = (name, num_instructions, seed)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        trace = get_workload(name).trace(num_instructions, seed=seed)
+        _trace_cache[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    _trace_cache.clear()
+
+
+@dataclass
+class SweepResult:
+    """Results of one (workload x config) sweep."""
+
+    # results[workload][config_label]
+    results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def add(self, result: SimulationResult) -> None:
+        self.results.setdefault(result.workload, {})[result.config_label] = result
+
+    def workloads(self) -> List[str]:
+        return list(self.results)
+
+    def labels(self) -> List[str]:
+        first = next(iter(self.results.values()), {})
+        return list(first)
+
+    def metric(self, workload: str, label: str,
+               metric: Callable[[SimulationResult], float]) -> float:
+        return metric(self.results[workload][label])
+
+    def normalized(self, metric: Callable[[SimulationResult], float],
+                   reference_label: str) -> Dict[str, Dict[str, float]]:
+        """``metric(config)/metric(reference)`` per workload and config."""
+        table: Dict[str, Dict[str, float]] = {}
+        for workload, by_label in self.results.items():
+            reference = metric(by_label[reference_label])
+            table[workload] = {
+                label: (metric(result) / reference if reference else 0.0)
+                for label, result in by_label.items()}
+        return table
+
+    def improvement_percent(self, metric: Callable[[SimulationResult], float],
+                            reference_label: str) -> Dict[str, Dict[str, float]]:
+        """Percent improvement of ``metric`` over the reference config."""
+        normalized = self.normalized(metric, reference_label)
+        return {workload: {label: 100.0 * (value - 1.0)
+                           for label, value in by_label.items()}
+                for workload, by_label in normalized.items()}
+
+    def mean_over_workloads(self, per_workload: Mapping[str, Mapping[str, float]],
+                            geometric: bool = False) -> Dict[str, float]:
+        labels = self.labels()
+        means: Dict[str, float] = {}
+        for label in labels:
+            values = [per_workload[w][label] for w in per_workload]
+            means[label] = geometric_mean(values) if geometric \
+                else arithmetic_mean(values)
+        return means
+
+
+def run_capacity_sweep(
+        workloads: Sequence[str] = WORKLOAD_NAMES,
+        capacities: Sequence[int] = CAPACITY_SWEEP,
+        num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
+        warmup_instructions: int = 0,
+        progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+    """Fig. 3/4: baseline uop cache at each capacity, per workload."""
+    sweep = SweepResult()
+    for name in workloads:
+        trace = workload_trace(name, num_instructions)
+        for capacity in capacities:
+            label = f"OC_{capacity // 1024}K"
+            config = dataclasses.replace(
+                baseline_config(capacity),
+                warmup_instructions=warmup_instructions)
+            result = Simulator(trace, config, label).run()
+            sweep.add(result)
+            if progress:
+                progress(f"{name} {label}: upc={result.upc:.3f}")
+    return sweep
+
+
+def run_policy_sweep(
+        workloads: Sequence[str] = WORKLOAD_NAMES,
+        labels: Sequence[str] = POLICY_LABELS,
+        capacity_uops: int = 2048,
+        max_entries_per_line: int = 2,
+        num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
+        warmup_instructions: int = 0,
+        progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+    """Figs. 15-22: the paper's five designs at a fixed capacity."""
+    sweep = SweepResult()
+    for name in workloads:
+        trace = workload_trace(name, num_instructions)
+        for label in labels:
+            config = dataclasses.replace(
+                policy_config(label, capacity_uops, max_entries_per_line),
+                warmup_instructions=warmup_instructions)
+            result = Simulator(trace, config, label).run()
+            sweep.add(result)
+            if progress:
+                progress(f"{name} {label}: upc={result.upc:.3f} "
+                         f"fetch={result.oc_fetch_ratio:.3f}")
+    return sweep
+
+
+def run_single(workload: str, config: SimulatorConfig, label: str = "",
+               num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS) -> SimulationResult:
+    """Run one workload under one configuration."""
+    trace = workload_trace(workload, num_instructions)
+    return Simulator(trace, config, label).run()

@@ -1,0 +1,117 @@
+"""Simulation result metrics.
+
+:class:`SimulationResult` is the single artifact a run produces; every figure
+of the paper is computed from fields of this class (see
+:mod:`repro.analysis.figures` for the per-figure mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..common.statistics import Histogram, ratio
+from ..power.decoder import DecoderEnergyReport
+from ..uopcache.cache import FillKind
+from ..uopcache.entry import EntryTermination
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated metrics of one simulation run."""
+
+    workload: str
+    config_label: str
+    # Core throughput.
+    cycles: int = 0
+    instructions: int = 0
+    uops: int = 0
+    busy_dispatch_cycles: int = 0
+    # Uop supply breakdown.
+    uops_from_uop_cache: int = 0
+    uops_from_decoder: int = 0
+    uops_from_loop_cache: int = 0
+    # Uop cache behaviour.
+    uop_cache_lookups: int = 0
+    uop_cache_hits: int = 0
+    uop_cache_fills: int = 0
+    entry_size_histogram: Optional[Histogram] = None
+    entry_termination_counts: Dict[EntryTermination, int] = field(
+        default_factory=dict)
+    fill_kind_counts: Dict[FillKind, int] = field(default_factory=dict)
+    entries_spanning_lines_fraction: float = 0.0
+    compacted_fill_fraction: float = 0.0
+    compacted_line_fraction: float = 0.0
+    entries_per_pw_histogram: Optional[Histogram] = None
+    uop_cache_utilization: float = 0.0
+    # Branches.
+    branches: int = 0
+    branch_mispredicts: int = 0
+    decode_resteers: int = 0
+    mispredict_latency_sum: int = 0
+    # Decoder activity/power.
+    decoder_report: Optional[DecoderEnergyReport] = None
+    # Memory system.
+    l1i_hit_rate: float = 0.0
+    l1d_hit_rate: float = 0.0
+
+    # -- derived metrics (the paper's reported quantities) -------------------
+
+    @property
+    def upc(self) -> float:
+        """Uops committed per cycle (the paper's performance metric)."""
+        return ratio(self.uops, self.cycles)
+
+    @property
+    def ipc(self) -> float:
+        return ratio(self.instructions, self.cycles)
+
+    @property
+    def dispatch_bandwidth(self) -> float:
+        """Average uops dispatched per busy dispatch cycle."""
+        return ratio(self.uops, self.busy_dispatch_cycles)
+
+    @property
+    def oc_fetch_ratio(self) -> float:
+        """Uops supplied by the uop cache over all uops supplied."""
+        return ratio(self.uops_from_uop_cache, self.uops)
+
+    @property
+    def uop_cache_hit_rate(self) -> float:
+        return ratio(self.uop_cache_hits, self.uop_cache_lookups)
+
+    @property
+    def avg_mispredict_latency(self) -> float:
+        return ratio(self.mispredict_latency_sum, self.branch_mispredicts)
+
+    @property
+    def branch_mpki(self) -> float:
+        return 1000.0 * ratio(self.branch_mispredicts, self.instructions)
+
+    @property
+    def decoder_power(self) -> float:
+        return self.decoder_report.power if self.decoder_report else 0.0
+
+    @property
+    def taken_branch_termination_fraction(self) -> float:
+        total = sum(self.entry_termination_counts.values())
+        taken = self.entry_termination_counts.get(
+            EntryTermination.TAKEN_BRANCH, 0)
+        return ratio(taken, total)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of the headline metrics (for reports/benches)."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "uops": self.uops,
+            "upc": self.upc,
+            "dispatch_bandwidth": self.dispatch_bandwidth,
+            "oc_fetch_ratio": self.oc_fetch_ratio,
+            "uop_cache_hit_rate": self.uop_cache_hit_rate,
+            "branch_mpki": self.branch_mpki,
+            "avg_mispredict_latency": self.avg_mispredict_latency,
+            "decoder_power": self.decoder_power,
+            "compacted_fill_fraction": self.compacted_fill_fraction,
+            "l1i_hit_rate": self.l1i_hit_rate,
+        }

@@ -1,0 +1,5 @@
+"""Front-end structures (loop cache; fetch/decode logic lives in the simulator)."""
+
+from .loopcache import LoopCache
+
+__all__ = ["LoopCache"]

@@ -1,0 +1,28 @@
+"""x86-like instruction and micro-operation (uop) models."""
+
+from .builder import (
+    FP_HEAVY_MIX,
+    INTEGER_MIX,
+    SERVER_MIX,
+    InstructionBuilder,
+    InstructionMix,
+)
+from .instruction import MAX_X86_INST_LEN, BranchKind, InstClass, X86Instruction
+from .uop import UOP_BITS, UOP_BYTES, Uop, UopKind, decode_instruction
+
+__all__ = [
+    "BranchKind",
+    "FP_HEAVY_MIX",
+    "INTEGER_MIX",
+    "InstClass",
+    "InstructionBuilder",
+    "InstructionMix",
+    "MAX_X86_INST_LEN",
+    "SERVER_MIX",
+    "UOP_BITS",
+    "UOP_BYTES",
+    "Uop",
+    "UopKind",
+    "X86Instruction",
+    "decode_instruction",
+]

@@ -1,0 +1,130 @@
+"""Fixed-length micro-operation (uop) model.
+
+Uops are the currency of the uop cache and the back-end.  Following the paper
+we assume a 56-bit fixed uop encoding plus separately stored 32-bit
+immediate/displacement fields; the exact encoding is implementation defined,
+so the model only tracks the attributes that affect storage and timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .instruction import BranchKind, InstClass, X86Instruction
+
+UOP_BITS = 56
+UOP_BYTES = UOP_BITS // 8
+
+
+class UopKind(enum.Enum):
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    FP = "fp"
+    VEC = "vec"
+    BRANCH = "branch"
+    NOP = "nop"
+
+
+_EXEC_LATENCY = {
+    UopKind.ALU: 1,
+    UopKind.NOP: 1,
+    UopKind.BRANCH: 1,
+    UopKind.FP: 4,
+    UopKind.VEC: 3,
+    UopKind.LOAD: 4,   # L1D hit latency; misses add hierarchy latency
+    UopKind.STORE: 1,
+}
+
+
+@dataclass(frozen=True)
+class Uop:
+    """One decoded micro-operation.
+
+    ``pc``/``inst_length`` identify the parent instruction so the uop cache can
+    attribute uops to instruction byte ranges (needed for entry termination and
+    invalidation), and the back-end can resolve branches.
+    """
+
+    pc: int
+    inst_length: int
+    kind: UopKind
+    slot: int                      # index within the parent instruction's uops
+    num_slots: int                 # total uops of the parent instruction
+    has_imm_disp: bool = False
+    is_microcoded: bool = False
+    branch_kind: BranchKind = BranchKind.NONE
+    branch_target: Optional[int] = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.branch_kind is not BranchKind.NONE
+
+    @property
+    def is_last_of_inst(self) -> bool:
+        return self.slot == self.num_slots - 1
+
+    @property
+    def next_sequential_pc(self) -> int:
+        return self.pc + self.inst_length
+
+    @property
+    def exec_latency(self) -> int:
+        return _EXEC_LATENCY[self.kind]
+
+    @property
+    def size_bytes(self) -> int:
+        return UOP_BYTES
+
+
+_CLASS_TO_KINDS = {
+    InstClass.ALU: (UopKind.ALU,),
+    InstClass.NOP: (UopKind.NOP,),
+    InstClass.LOAD: (UopKind.LOAD,),
+    InstClass.STORE: (UopKind.STORE,),
+    InstClass.LOAD_ALU: (UopKind.LOAD, UopKind.ALU),
+    InstClass.FP: (UopKind.FP,),
+    InstClass.AVX: (UopKind.VEC,),
+    InstClass.BRANCH: (UopKind.BRANCH,),
+    InstClass.CALL: (UopKind.ALU, UopKind.BRANCH),   # push RA + jump
+    InstClass.RET: (UopKind.LOAD, UopKind.BRANCH),   # pop RA + jump
+    InstClass.MICROCODED: (UopKind.ALU,),
+}
+
+
+def decode_instruction(inst: X86Instruction) -> Tuple[Uop, ...]:
+    """Crack a static instruction into its fixed-length uops.
+
+    The decomposition is deterministic: the declared ``uop_count`` slots are
+    filled with kinds appropriate to the instruction class, imm/disp fields are
+    attached to the leading uops, and for control transfers the *last* uop is
+    the branch uop (matching real x86 cracking, where the jump resolves after
+    any address-generation/stack uops).
+    """
+    base_kinds = _CLASS_TO_KINDS[inst.inst_class]
+    kinds = list(base_kinds)
+    # Pad to uop_count with ALU filler uops (micro-coded expansion); place any
+    # branch uop last.
+    branch_kinds = [k for k in kinds if k is UopKind.BRANCH]
+    kinds = [k for k in kinds if k is not UopKind.BRANCH]
+    while len(kinds) + len(branch_kinds) < inst.uop_count:
+        kinds.append(UopKind.ALU)
+    kinds = kinds[: inst.uop_count - len(branch_kinds)] + branch_kinds
+
+    uops = []
+    for slot, kind in enumerate(kinds):
+        is_branch_uop = kind is UopKind.BRANCH
+        uops.append(Uop(
+            pc=inst.address,
+            inst_length=inst.length,
+            kind=kind,
+            slot=slot,
+            num_slots=len(kinds),
+            has_imm_disp=slot < inst.imm_disp_count,
+            is_microcoded=inst.is_microcoded,
+            branch_kind=inst.branch_kind if is_branch_uop else BranchKind.NONE,
+            branch_target=inst.branch_target if is_branch_uop else None,
+        ))
+    return tuple(uops)

@@ -1,0 +1,5 @@
+"""Power models (decoder energy accounting)."""
+
+from .decoder import DecoderEnergyReport, DecoderPowerModel
+
+__all__ = ["DecoderEnergyReport", "DecoderPowerModel"]

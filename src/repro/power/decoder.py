@@ -1,0 +1,61 @@
+"""Decoder energy/power accounting (Section IV-A's PTPX model, abstracted).
+
+The paper reports decoder power *normalized to the baseline*, which cancels
+absolute calibration.  We therefore model decoder energy as
+
+    E = insts_decoded * E_decode            (dynamic per-slot energy)
+      + active_cycles * E_active            (clocking/identification overhead)
+      + idle_cycles   * E_idle              (decoders powered but shut down)
+
+and report power P = E / total_cycles.  Uops served from the uop cache or
+loop cache bypass the decoder entirely: fewer decoded instructions and fewer
+active cycles, exactly the saving mechanism the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.config import PowerConfig
+
+
+@dataclass
+class DecoderEnergyReport:
+    insts_decoded: int
+    active_cycles: int
+    total_cycles: int
+    energy: float
+
+    @property
+    def power(self) -> float:
+        return self.energy / self.total_cycles if self.total_cycles else 0.0
+
+
+class DecoderPowerModel:
+    """Accumulates decoder activity during a simulation run."""
+
+    def __init__(self, config: Optional[PowerConfig] = None) -> None:
+        self.config = config or PowerConfig()
+        self.insts_decoded = 0
+        self.active_cycles = 0
+
+    def record_decode_burst(self, num_insts: int, cycles: int) -> None:
+        """The decoder processed ``num_insts`` over ``cycles`` busy cycles."""
+        if num_insts < 0 or cycles < 0:
+            raise ValueError("decode burst cannot be negative")
+        self.insts_decoded += num_insts
+        self.active_cycles += cycles
+
+    def report(self, total_cycles: int) -> DecoderEnergyReport:
+        cfg = self.config
+        idle_cycles = max(0, total_cycles - self.active_cycles)
+        energy = (self.insts_decoded * cfg.decode_energy_per_inst +
+                  self.active_cycles * cfg.decoder_active_cycle_energy +
+                  idle_cycles * cfg.decoder_idle_cycle_energy)
+        return DecoderEnergyReport(
+            insts_decoded=self.insts_decoded,
+            active_cycles=self.active_cycles,
+            total_cycles=total_cycles,
+            energy=energy,
+        )

@@ -1,0 +1,16 @@
+"""The micro-operation cache: entries, accumulation, structure, compaction."""
+
+from .builder import AccumulationBuffer
+from .cache import FillKind, FillResult, UopCache, UopCacheLine
+from .entry import EntryBuilder, EntryTermination, UopCacheEntry
+
+__all__ = [
+    "AccumulationBuffer",
+    "EntryBuilder",
+    "EntryTermination",
+    "FillKind",
+    "FillResult",
+    "UopCache",
+    "UopCacheEntry",
+    "UopCacheLine",
+]

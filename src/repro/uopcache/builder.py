@@ -1,0 +1,125 @@
+"""The accumulation buffer: builds uop cache entries from the decode stream.
+
+On a uop cache miss the IC path decodes x86 instructions; their uops are
+accumulated here until an entry terminating condition fires, at which point a
+sealed :class:`UopCacheEntry` is handed to the uop cache fill logic
+(Section II-B2/II-B3 of the paper).
+
+Sequencing conditions enforced here:
+
+- **I-cache line boundary** — in the baseline an entry only holds
+  instructions whose first bytes share one I-cache line.  With CLASP an
+  entry may extend across up to ``clasp_max_lines`` *consecutive* lines as
+  long as flow is sequential (which it always is inside an accumulation run;
+  taken branches end the run).
+- **taken branch** — the caller reports each instruction's resolved
+  taken/not-taken flag; a taken (or unconditional) transfer seals the entry.
+
+Content conditions (max uops / imm-disp / micro-coded / physical fit) are
+delegated to :class:`~repro.uopcache.entry.EntryBuilder`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..common.config import UopCacheConfig
+from ..common.errors import CacheError
+from ..isa.uop import Uop
+from .entry import EntryBuilder, EntryTermination, UopCacheEntry
+
+
+class AccumulationBuffer:
+    """Builds entries for one sequential decode run at a time."""
+
+    def __init__(self, config: UopCacheConfig,
+                 icache_line_bytes: int = 64) -> None:
+        self.config = config
+        self.icache_line_bytes = icache_line_bytes
+        self._builder: Optional[EntryBuilder] = None
+        self._first_line = 0        # I-cache line index of the entry's first inst
+        self._pw_id = 0
+        #: Uops that bypassed the uop cache because a single instruction
+        #: exceeded entry limits (served by the micro-code sequencer instead).
+        self.bypassed_uops = 0
+
+    @property
+    def accumulating(self) -> bool:
+        return self._builder is not None and not self._builder.empty
+
+    def begin(self, pw_id: int) -> None:
+        """Set the PW identity for entries that start from now on."""
+        self._pw_id = pw_id
+
+    def push(self, inst_uops: Sequence[Uop],
+             taken: bool) -> List[UopCacheEntry]:
+        """Feed one decoded instruction; returns any entries sealed by it.
+
+        ``taken`` is True when this dynamic instance diverted control flow
+        (predicted-taken branch or unconditional transfer).
+        """
+        if not inst_uops:
+            raise CacheError("push requires at least one uop")
+        sealed: List[UopCacheEntry] = []
+        pc = inst_uops[0].pc
+        line = pc // self.icache_line_bytes
+
+        if self._builder is not None and not self._builder.empty:
+            if pc != self._builder.end_pc:
+                # Non-sequential continuation: control flow diverted while the
+                # uop supply came from elsewhere (uop cache path / redirect).
+                # The partial sequential run is still a valid entry: seal it.
+                sealed.append(self._seal(EntryTermination.PW_END))
+            elif self._line_boundary_violation(line):
+                sealed.append(self._seal(EntryTermination.ICACHE_LINE_BOUNDARY))
+            else:
+                violation = self._builder.instruction_fits(inst_uops)
+                if violation is not None:
+                    sealed.append(self._seal(violation))
+
+        if self._builder is None or self._builder.empty:
+            self._open(pc, line)
+
+        if self._builder.instruction_fits(inst_uops) is not None:
+            # A single instruction that exceeds entry limits even in a fresh
+            # entry (a long micro-coded expansion) is not cached: real designs
+            # serve such instructions from the micro-code sequencer.
+            self._builder = None
+            self.bypassed_uops += len(inst_uops)
+            return sealed
+
+        self._builder.add_instruction(inst_uops)
+        if taken:
+            sealed.append(self._seal(EntryTermination.TAKEN_BRANCH))
+        return sealed
+
+    def flush(self) -> List[UopCacheEntry]:
+        """Seal any partial entry (end of accumulation run)."""
+        if self._builder is None or self._builder.empty:
+            self._builder = None
+            return []
+        return [self._seal(EntryTermination.PW_END)]
+
+    def abandon(self) -> None:
+        """Drop any partial entry (e.g. pipeline flush on misprediction)."""
+        self._builder = None
+
+    # -- internals ----------------------------------------------------------
+
+    def _open(self, pc: int, line: int) -> None:
+        self._builder = EntryBuilder(self.config, start_pc=pc, pw_id=self._pw_id)
+        self._first_line = line
+
+    def _line_boundary_violation(self, line: int) -> bool:
+        if line == self._first_line:
+            return False
+        if not self.config.clasp:
+            return True
+        span = line - self._first_line + 1
+        return span > self.config.clasp_max_lines or line < self._first_line
+
+    def _seal(self, termination: EntryTermination) -> UopCacheEntry:
+        assert self._builder is not None
+        entry = self._builder.seal(termination)
+        self._builder = None
+        return entry

@@ -1,0 +1,171 @@
+"""Uop cache entries and their construction/termination rules (Section II-B).
+
+An *entry* is the unit of lookup and dispatch: a run of uops from whole,
+consecutively fetched instructions, tagged by the starting physical address.
+A *line* is the 64-byte physical container; in the baseline a line holds one
+entry, with compaction it holds several.
+
+Entry terminating conditions (baseline):
+
+(a) I-cache line boundary crossing (relaxed by CLASP to ``clasp_max_lines``
+    sequential lines),
+(b) predicted taken branch,
+(c) maximum uops per entry,
+(d) maximum immediate/displacement fields per entry,
+(e) maximum micro-coded instructions per entry,
+(f) physical line fit (uop bytes + imm/disp bytes + metadata <= line size).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..common.config import UopCacheConfig
+from ..common.errors import CacheError
+from ..isa.uop import Uop
+
+_entry_ids = itertools.count()
+
+
+class EntryTermination(enum.Enum):
+    ICACHE_LINE_BOUNDARY = "icache-line-boundary"
+    TAKEN_BRANCH = "taken-branch"
+    MAX_UOPS = "max-uops"
+    MAX_IMM_DISP = "max-imm-disp"
+    MAX_UCODE = "max-ucode"
+    LINE_FULL = "line-full"
+    PW_END = "pw-end"                # accumulation flushed at end of stream
+
+
+@dataclass(eq=False)
+class UopCacheEntry:
+    """An immutable-after-seal group of uops plus its tag metadata.
+
+    Identity semantics (``eq=False``): two structurally equal fills are still
+    distinct entries, and entries can live in hash-based containers.
+    """
+
+    start_pc: int
+    pw_id: int
+    uops: Tuple[Uop, ...] = ()
+    end_pc: int = 0                       # first byte past the last instruction
+    termination: EntryTermination = EntryTermination.PW_END
+    entry_id: int = field(default_factory=lambda: next(_entry_ids))
+
+    @property
+    def num_uops(self) -> int:
+        return len(self.uops)
+
+    @property
+    def num_imm_disp(self) -> int:
+        return sum(1 for uop in self.uops if uop.has_imm_disp)
+
+    @property
+    def num_ucoded_insts(self) -> int:
+        return len({uop.pc for uop in self.uops if uop.is_microcoded})
+
+    @property
+    def num_instructions(self) -> int:
+        return len({uop.pc for uop in self.uops})
+
+    def size_bytes(self, config: UopCacheConfig) -> int:
+        """Storage footprint in the line: uop slots plus imm/disp slots."""
+        return (self.num_uops * config.uop_bytes +
+                self.num_imm_disp * config.imm_disp_bytes)
+
+    def icache_lines(self, line_bytes: int = 64) -> Tuple[int, ...]:
+        """I-cache line addresses of the instruction *start* bytes covered."""
+        lines = sorted({(uop.pc // line_bytes) * line_bytes for uop in self.uops})
+        return tuple(lines)
+
+    def spans_icache_lines(self, line_bytes: int = 64) -> bool:
+        return len(self.icache_lines(line_bytes)) > 1
+
+    def covers_address(self, address: int) -> bool:
+        """Whether any covered instruction's start byte equals ``address``."""
+        return any(uop.pc == address for uop in self.uops)
+
+    def overlaps_line(self, line_address: int, line_bytes: int = 64) -> bool:
+        """Whether any covered instruction starts in the given I-cache line."""
+        line = (line_address // line_bytes) * line_bytes
+        return line in self.icache_lines(line_bytes)
+
+
+class EntryBuilder:
+    """Incrementally accumulates one entry; enforces all limits.
+
+    The accumulation-buffer logic (:mod:`repro.uopcache.builder`) drives this:
+    ``try_add`` answers whether a whole instruction's uops fit under rules
+    (c)-(f); rules (a)/(b) are sequencing rules the caller enforces because
+    they depend on control flow, not entry contents.
+    """
+
+    def __init__(self, config: UopCacheConfig, start_pc: int, pw_id: int) -> None:
+        self.config = config
+        self.start_pc = start_pc
+        self.pw_id = pw_id
+        self._uops: List[Uop] = []
+        self._num_imm = 0
+        self._ucoded_pcs = set()
+        self._bytes = 0
+        self._end_pc = start_pc
+
+    @property
+    def empty(self) -> bool:
+        return not self._uops
+
+    @property
+    def num_uops(self) -> int:
+        return len(self._uops)
+
+    @property
+    def end_pc(self) -> int:
+        return self._end_pc
+
+    def instruction_fits(self, inst_uops: Sequence[Uop]) -> Optional[EntryTermination]:
+        """None if the whole instruction fits; else the limit it violates."""
+        cfg = self.config
+        added_imm = sum(1 for uop in inst_uops if uop.has_imm_disp)
+        added_bytes = (len(inst_uops) * cfg.uop_bytes +
+                       added_imm * cfg.imm_disp_bytes)
+        if len(self._uops) + len(inst_uops) > cfg.max_uops_per_entry:
+            return EntryTermination.MAX_UOPS
+        if self._num_imm + added_imm > cfg.max_imm_disp_per_entry:
+            return EntryTermination.MAX_IMM_DISP
+        if inst_uops and inst_uops[0].is_microcoded:
+            if len(self._ucoded_pcs | {inst_uops[0].pc}) > cfg.max_ucoded_per_entry:
+                return EntryTermination.MAX_UCODE
+        if self._bytes + added_bytes > cfg.usable_line_bytes:
+            return EntryTermination.LINE_FULL
+        return None
+
+    def add_instruction(self, inst_uops: Sequence[Uop]) -> None:
+        violation = self.instruction_fits(inst_uops)
+        if violation is not None:
+            raise CacheError(f"instruction does not fit entry: {violation}")
+        if not inst_uops:
+            raise CacheError("cannot add an instruction with no uops")
+        cfg = self.config
+        for uop in inst_uops:
+            self._uops.append(uop)
+            if uop.has_imm_disp:
+                self._num_imm += 1
+            if uop.is_microcoded:
+                self._ucoded_pcs.add(uop.pc)
+        self._bytes = (len(self._uops) * cfg.uop_bytes +
+                       self._num_imm * cfg.imm_disp_bytes)
+        self._end_pc = inst_uops[0].next_sequential_pc
+
+    def seal(self, termination: EntryTermination) -> UopCacheEntry:
+        if self.empty:
+            raise CacheError("cannot seal an empty uop cache entry")
+        return UopCacheEntry(
+            start_pc=self.start_pc,
+            pw_id=self.pw_id,
+            uops=tuple(self._uops),
+            end_pc=self._end_pc,
+            termination=termination,
+        )

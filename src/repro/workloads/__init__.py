@@ -1,0 +1,50 @@
+"""Synthetic workloads: program images, CFG generation, dynamic traces."""
+
+from .generator import (
+    BiasedBehavior,
+    IndirectBehavior,
+    LoopBehavior,
+    Workload,
+    WorkloadGenerator,
+    WorkloadProfile,
+    generate_workload,
+)
+from .program import BasicBlock, Function, Program
+from .serialization import load_trace, load_workload, save_trace, save_workload
+from .suite import (
+    PAPER_BRANCH_MPKI,
+    SUITE_GROUPS,
+    WORKLOAD_NAMES,
+    WORKLOAD_PROFILES,
+    clear_workload_cache,
+    get_profile,
+    get_workload,
+)
+from .trace import DynamicInst, Trace, TraceBranchStats
+
+__all__ = [
+    "BasicBlock",
+    "BiasedBehavior",
+    "DynamicInst",
+    "Function",
+    "IndirectBehavior",
+    "LoopBehavior",
+    "PAPER_BRANCH_MPKI",
+    "Program",
+    "SUITE_GROUPS",
+    "Trace",
+    "TraceBranchStats",
+    "WORKLOAD_NAMES",
+    "WORKLOAD_PROFILES",
+    "Workload",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "clear_workload_cache",
+    "generate_workload",
+    "get_profile",
+    "get_workload",
+    "load_trace",
+    "load_workload",
+    "save_trace",
+    "save_workload",
+]

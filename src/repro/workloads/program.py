@@ -1,0 +1,130 @@
+"""Static program images: basic blocks, functions, and address decoding.
+
+A :class:`Program` is the synthetic stand-in for a compiled binary: a set of
+instructions at fixed byte addresses, organised into basic blocks and
+functions.  The front-end only ever asks one question of the image —
+"what instruction starts at this PC?" — which :meth:`Program.at` answers in
+O(1); uop cracking is memoised per static instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..common.errors import WorkloadError
+from ..isa.instruction import X86Instruction
+from ..isa.uop import Uop, decode_instruction
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions ending in (at most) one branch."""
+
+    instructions: List[X86Instruction] = field(default_factory=list)
+
+    @property
+    def start(self) -> int:
+        if not self.instructions:
+            raise WorkloadError("empty basic block has no start address")
+        return self.instructions[0].address
+
+    @property
+    def end(self) -> int:
+        """First byte past the block."""
+        return self.instructions[-1].end_address
+
+    @property
+    def terminator(self) -> X86Instruction:
+        return self.instructions[-1]
+
+    @property
+    def size_bytes(self) -> int:
+        return self.end - self.start
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class Function:
+    """A callable region: an entry block plus internal control flow."""
+
+    name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+
+    @property
+    def entry(self) -> int:
+        if not self.blocks:
+            raise WorkloadError(f"function {self.name!r} has no blocks")
+        return self.blocks[0].start
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+
+class Program:
+    """An immutable static code image with O(1) PC decode.
+
+    Also memoises per-instruction uop cracking, since the same static
+    instruction is decoded millions of times across a trace.
+    """
+
+    def __init__(self, functions: Sequence[Function], entry: Optional[int] = None):
+        if not functions:
+            raise WorkloadError("a program needs at least one function")
+        self.functions: Tuple[Function, ...] = tuple(functions)
+        self._by_address: Dict[int, X86Instruction] = {}
+        for function in self.functions:
+            for block in function.blocks:
+                for inst in block.instructions:
+                    existing = self._by_address.get(inst.address)
+                    if existing is not None and existing is not inst:
+                        raise WorkloadError(
+                            f"overlapping instructions at {inst.address:#x}")
+                    self._by_address[inst.address] = inst
+        self.entry = entry if entry is not None else self.functions[0].entry
+        if self.entry not in self._by_address:
+            raise WorkloadError(f"entry point {self.entry:#x} decodes to nothing")
+        self._uop_cache: Dict[int, Tuple[Uop, ...]] = {}
+
+    def at(self, address: int) -> X86Instruction:
+        try:
+            return self._by_address[address]
+        except KeyError:
+            raise WorkloadError(f"no instruction starts at {address:#x}") from None
+
+    def contains(self, address: int) -> bool:
+        return address in self._by_address
+
+    def uops_at(self, address: int) -> Tuple[Uop, ...]:
+        cached = self._uop_cache.get(address)
+        if cached is None:
+            cached = decode_instruction(self.at(address))
+            self._uop_cache[address] = cached
+        return cached
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self._by_address)
+
+    @property
+    def num_static_uops(self) -> int:
+        return sum(inst.uop_count for inst in self._by_address.values())
+
+    @property
+    def code_bytes(self) -> int:
+        """Footprint from lowest instruction byte to highest."""
+        lo = min(self._by_address)
+        hi = max(inst.end_address for inst in self._by_address.values())
+        return hi - lo
+
+    def instructions(self) -> Iterable[X86Instruction]:
+        return self._by_address.values()
+
+    def touched_icache_lines(self, line_bytes: int = 64) -> int:
+        lines = set()
+        for inst in self._by_address.values():
+            lines.update(inst.cache_lines(line_bytes))
+        return len(lines)

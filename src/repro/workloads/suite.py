@@ -1,0 +1,167 @@
+"""The evaluated workload suite (Table II analogue).
+
+One :class:`WorkloadProfile` per paper workload.  Profiles differ in code
+footprint (functions x blocks x instructions), instruction mix, branch
+predictability (targets the Table II branch MPKI ordering), loop structure,
+and call diversity (which sets the *dynamic* uop footprint pressure on the
+2K..64K-uop cache sweep).  Suites: Cloud (SparkBench log_regr/tr_cnt/pg_rnk,
+Nutch, Mahout), Server (redis, jvm/SPECjbb), and SPEC CPU 2017 (perlbench,
+gcc, x264, deepsjeng, leela, xz).
+
+The absolute numbers are synthetic-model parameters, not measurements of the
+real applications; they are tuned so that relative behaviour (footprint
+pressure, branch MPKI ordering, fragmentation) matches the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..common.errors import WorkloadError
+from ..isa.builder import FP_HEAVY_MIX, INTEGER_MIX, SERVER_MIX, InstructionMix
+from .generator import Workload, WorkloadProfile, generate_workload
+
+#: Branch MPKI reported in Table II, used for documentation and calibration
+#: tests (we check ordering, not absolute equality).
+PAPER_BRANCH_MPKI: Dict[str, float] = {
+    "sp-log_regr": 10.37,
+    "sp-tr_cnt": 7.90,
+    "sp-pg_rnk": 9.27,
+    "nutch": 5.12,
+    "mahout": 9.05,
+    "redis": 1.01,
+    "jvm": 2.15,
+    "bm-pb": 2.07,
+    "bm-cc": 5.48,
+    "bm-x64": 1.31,
+    "bm-ds": 4.50,
+    "bm-lla": 11.51,
+    "bm-z": 11.61,
+}
+
+#: Suite membership, mirroring Table II's grouping.
+SUITE_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "cloud": ("sp-log_regr", "sp-tr_cnt", "sp-pg_rnk", "nutch", "mahout"),
+    "server": ("redis", "jvm"),
+    "spec2017": ("bm-pb", "bm-cc", "bm-x64", "bm-ds", "bm-lla", "bm-z"),
+}
+
+
+def _profile(name: str, *, functions: int, blocks: Tuple[int, int],
+             insts: Tuple[int, int], mix: InstructionMix,
+             hard: float, zipf: float, uniform: float,
+             phase: int = 0, loops: float = 0.12, calls: float = 0.12,
+             indirect: float = 0.02, ind_call: float = 0.45,
+             taken_bias: float = 0.72, sticky: int = 24,
+             trips: Tuple[int, ...] = (2, 3, 4, 8)) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name,
+        num_functions=functions,
+        blocks_per_function=blocks,
+        insts_per_block=insts,
+        mix=mix,
+        loop_fraction=loops,
+        call_fraction=calls,
+        indirect_fraction=indirect,
+        indirect_call_fraction=ind_call,
+        hard_branch_fraction=hard,
+        easy_taken_bias=taken_bias,
+        hot_function_zipf=zipf,
+        driver_uniform_fraction=uniform,
+        phase_length=phase,
+        indirect_stickiness=sticky,
+        loop_trip_counts=trips,
+    )
+
+
+#: All thirteen evaluated workloads, keyed by their paper short name.
+WORKLOAD_PROFILES: Dict[str, WorkloadProfile] = {
+    # -- Cloud: big flat code footprints; JIT-style phases; high MPKI --------
+    "sp-log_regr": _profile(
+        "sp-log_regr", functions=930, blocks=(5, 14), insts=(1, 5),
+        mix=FP_HEAVY_MIX, hard=0.067, zipf=0.60, uniform=0.30, phase=25_000,
+        indirect=0.04, ind_call=0.55, calls=0.09, trips=(2, 3, 4)),
+    "sp-tr_cnt": _profile(
+        "sp-tr_cnt", functions=630, blocks=(5, 13), insts=(1, 5),
+        mix=SERVER_MIX, hard=0.040, zipf=0.55, uniform=0.35, phase=30_000,
+        indirect=0.04, ind_call=0.5, calls=0.08, trips=(2, 3, 4, 8)),
+    "sp-pg_rnk": _profile(
+        "sp-pg_rnk", functions=660, blocks=(5, 14), insts=(1, 5),
+        mix=FP_HEAVY_MIX, hard=0.050, zipf=0.65, uniform=0.28, phase=28_000,
+        indirect=0.04, ind_call=0.55, calls=0.09, trips=(2, 3, 4)),
+    "nutch": _profile(
+        "nutch", functions=600, blocks=(4, 12), insts=(1, 6),
+        mix=SERVER_MIX, hard=0.025, zipf=0.80, uniform=0.22, phase=35_000,
+        indirect=0.05, ind_call=0.5, calls=0.09),
+    "mahout": _profile(
+        "mahout", functions=450, blocks=(5, 13), insts=(1, 5),
+        mix=FP_HEAVY_MIX, hard=0.047, zipf=0.70, uniform=0.25, phase=30_000,
+        indirect=0.04, ind_call=0.5, calls=0.09, trips=(2, 3, 4)),
+    # -- Server ----------------------------------------------------------------
+    "redis": _profile(
+        "redis", functions=520, blocks=(4, 10), insts=(1, 6),
+        mix=SERVER_MIX, hard=0.000, zipf=0.55, uniform=0.30, phase=15_000,
+        indirect=0.03, ind_call=0.55, calls=0.09, loops=0.08, sticky=48,
+        trips=(2, 4, 8)),
+    "jvm": _profile(
+        "jvm", functions=750, blocks=(4, 12), insts=(1, 6),
+        mix=SERVER_MIX, hard=0.003, zipf=0.55, uniform=0.35, phase=35_000,
+        indirect=0.06, ind_call=0.55, calls=0.09, trips=(4, 8, 16)),
+    # -- SPEC CPU 2017 ------------------------------------------------------------
+    "bm-pb": _profile(   # 500.perlbench_r: big code, predictable branches
+        "bm-pb", functions=480, blocks=(5, 13), insts=(1, 5),
+        mix=INTEGER_MIX, hard=0.001, zipf=0.70, uniform=0.25, phase=30_000,
+        indirect=0.05, ind_call=0.5, calls=0.09),
+    "bm-cc": _profile(   # 502.gcc_r: biggest footprint, moderate MPKI
+        "bm-cc", functions=690, blocks=(5, 14), insts=(1, 5),
+        mix=INTEGER_MIX, hard=0.010, zipf=0.45, uniform=0.40, phase=20_000,
+        indirect=0.05, ind_call=0.6, calls=0.09, loops=0.08,
+        trips=(2, 3, 4)),
+    "bm-x64": _profile(  # 525.x264_r: small hot loops, low MPKI
+        "bm-x64", functions=90, blocks=(3, 9), insts=(4, 12),
+        mix=FP_HEAVY_MIX, hard=0.004, zipf=1.30, uniform=0.06, phase=0,
+        indirect=0.01, ind_call=0.2, loops=0.30, calls=0.06,
+        trips=(4, 8, 16, 50)),
+    "bm-ds": _profile(   # 531.deepsjeng_r: search code, data-dependent branches
+        "bm-ds", functions=315, blocks=(4, 12), insts=(1, 5),
+        mix=INTEGER_MIX, hard=0.018, zipf=0.90, uniform=0.15, phase=0,
+        indirect=0.02, ind_call=0.4, calls=0.08),
+    "bm-lla": _profile(  # 541.leela_r: MCTS, very hard branches
+        "bm-lla", functions=345, blocks=(4, 12), insts=(1, 5),
+        mix=INTEGER_MIX, hard=0.200, zipf=0.90, uniform=0.15, phase=0,
+        indirect=0.02, ind_call=0.4, calls=0.08, trips=(2, 3, 4)),
+    "bm-z": _profile(    # 557.xz_r: compression, hard branches, modest code
+        "bm-z", functions=380, blocks=(4, 11), insts=(1, 5),
+        mix=INTEGER_MIX, hard=0.300, zipf=0.90, uniform=0.18, phase=0,
+        indirect=0.01, ind_call=0.3, calls=0.09, loops=0.20,
+        trips=(2, 3, 4, 8)),
+}
+
+WORKLOAD_NAMES: Tuple[str, ...] = tuple(WORKLOAD_PROFILES)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    try:
+        return WORKLOAD_PROFILES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)}"
+        ) from None
+
+
+_workload_cache: Dict[Tuple[str, int], Workload] = {}
+
+
+def get_workload(name: str, seed: int = 1, cache: bool = True) -> Workload:
+    """Build (and memoise) the program image for a named workload."""
+    key = (name, seed)
+    if cache and key in _workload_cache:
+        return _workload_cache[key]
+    workload = generate_workload(get_profile(name), seed=seed)
+    if cache:
+        _workload_cache[key] = workload
+    return workload
+
+
+def clear_workload_cache() -> None:
+    _workload_cache.clear()

@@ -1,0 +1,109 @@
+"""Dynamic trace representation.
+
+A trace is the resolved execution path of a program: one record per retired
+instruction carrying its PC, the *actual* next PC (which encodes taken /
+not-taken), and a data address for memory instructions.  Traces are replayed
+many times (once per simulated configuration), so records are slotted and the
+trace owns a reference to its static :class:`~repro.workloads.program.Program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..common.errors import WorkloadError
+from ..isa.instruction import X86Instruction
+from .program import Program
+
+
+@dataclass(frozen=True)
+class DynamicInst:
+    """One dynamic (retired) instruction."""
+
+    __slots__ = ("pc", "next_pc", "mem_addr")
+
+    pc: int
+    next_pc: int
+    mem_addr: Optional[int]
+
+    def taken(self, inst: X86Instruction) -> bool:
+        """Whether this dynamic instance diverted from sequential flow."""
+        return self.next_pc != inst.end_address
+
+
+class Trace:
+    """An immutable dynamic instruction trace bound to its program image."""
+
+    def __init__(self, program: Program, records: Sequence[DynamicInst],
+                 name: str = "trace") -> None:
+        if not records:
+            raise WorkloadError("trace must contain at least one record")
+        self.program = program
+        self.records: List[DynamicInst] = list(records)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DynamicInst]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> DynamicInst:
+        return self.records[index]
+
+    @property
+    def num_dynamic_uops(self) -> int:
+        return sum(self.program.at(r.pc).uop_count for r in self.records)
+
+    def validate(self) -> None:
+        """Check every record decodes and control flow is coherent.
+
+        Raises :class:`WorkloadError` on the first inconsistency.  O(n); meant
+        for tests and workload development, not the simulation hot path.
+        """
+        for i, record in enumerate(self.records):
+            inst = self.program.at(record.pc)  # raises if undecodable
+            if record.next_pc != inst.end_address and not inst.is_branch:
+                raise WorkloadError(
+                    f"record {i}: non-branch at {record.pc:#x} changed control flow")
+            if inst.is_unconditional_transfer and record.next_pc == inst.end_address:
+                # An unconditional transfer may still "fall through" only if its
+                # target happens to equal the next sequential address.
+                if inst.branch_target is not None and \
+                        inst.branch_target != inst.end_address:
+                    raise WorkloadError(
+                        f"record {i}: unconditional branch at {record.pc:#x} "
+                        "fell through")
+            if i + 1 < len(self.records) and \
+                    self.records[i + 1].pc != record.next_pc:
+                raise WorkloadError(
+                    f"record {i}: next_pc {record.next_pc:#x} does not match "
+                    f"following record pc {self.records[i + 1].pc:#x}")
+
+    def branch_stats(self) -> "TraceBranchStats":
+        total = len(self.records)
+        branches = taken = conditional = 0
+        for record in self.records:
+            inst = self.program.at(record.pc)
+            if inst.is_branch:
+                branches += 1
+                if inst.is_conditional_branch:
+                    conditional += 1
+                if record.taken(inst):
+                    taken += 1
+        return TraceBranchStats(
+            instructions=total, branches=branches,
+            conditional_branches=conditional, taken_branches=taken)
+
+
+@dataclass(frozen=True)
+class TraceBranchStats:
+    instructions: int
+    branches: int
+    conditional_branches: int
+    taken_branches: int
+
+    @property
+    def branch_density(self) -> float:
+        return self.branches / self.instructions if self.instructions else 0.0

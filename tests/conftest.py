@@ -1,0 +1,6 @@
+"""Pytest configuration: make test-local helper modules importable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

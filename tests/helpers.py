@@ -1,0 +1,58 @@
+"""Shared factories for uop-cache tests."""
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.config import UopCacheConfig
+from repro.isa.instruction import BranchKind
+from repro.isa.uop import Uop, UopKind
+from repro.uopcache.entry import EntryTermination, UopCacheEntry
+
+
+def make_uops(pc: int, count: int = 1, inst_length: int = 4,
+              imm: int = 0, micro: bool = False,
+              branch_kind: BranchKind = BranchKind.NONE,
+              branch_target: Optional[int] = None) -> Tuple[Uop, ...]:
+    """Uops of a single synthetic instruction at ``pc``."""
+    uops = []
+    for slot in range(count):
+        is_branch_slot = branch_kind is not BranchKind.NONE and \
+            slot == count - 1
+        uops.append(Uop(
+            pc=pc,
+            inst_length=inst_length,
+            kind=UopKind.BRANCH if is_branch_slot else UopKind.ALU,
+            slot=slot,
+            num_slots=count,
+            has_imm_disp=slot < imm,
+            is_microcoded=micro,
+            branch_kind=branch_kind if is_branch_slot else BranchKind.NONE,
+            branch_target=branch_target if is_branch_slot else None,
+        ))
+    return tuple(uops)
+
+
+def make_entry(start_pc: int, num_insts: int = 2, uops_per_inst: int = 1,
+               inst_length: int = 4, pw_id: Optional[int] = None,
+               imm_per_inst: int = 0,
+               termination: EntryTermination = EntryTermination.TAKEN_BRANCH
+               ) -> UopCacheEntry:
+    """A sealed entry covering ``num_insts`` sequential instructions."""
+    uops: List[Uop] = []
+    pc = start_pc
+    for _ in range(num_insts):
+        uops.extend(make_uops(pc, count=uops_per_inst,
+                              inst_length=inst_length, imm=imm_per_inst))
+        pc += inst_length
+    return UopCacheEntry(
+        start_pc=start_pc,
+        pw_id=pw_id if pw_id is not None else start_pc,
+        uops=tuple(uops),
+        end_pc=pc,
+        termination=termination,
+    )
+
+
+def small_oc_config(**kwargs) -> UopCacheConfig:
+    defaults = dict(num_sets=4, associativity=2)
+    defaults.update(kwargs)
+    return UopCacheConfig(**defaults)

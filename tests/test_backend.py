@@ -1,0 +1,119 @@
+"""Unit tests for the out-of-order back-end timing model."""
+
+import pytest
+
+from repro.backend.core import OutOfOrderBackend, UopTiming, _WidthLimiter
+from repro.common.config import CoreConfig
+from repro.isa.uop import Uop, UopKind
+
+
+def alu_uop(pc=0x1000):
+    return Uop(pc=pc, inst_length=4, kind=UopKind.ALU, slot=0, num_slots=1)
+
+
+def load_uop(pc=0x1000):
+    return Uop(pc=pc, inst_length=4, kind=UopKind.LOAD, slot=0, num_slots=1)
+
+
+class TestWidthLimiter:
+    def test_packs_up_to_width(self):
+        lim = _WidthLimiter(2)
+        assert lim.place(5) == 5
+        assert lim.place(5) == 5
+        assert lim.place(5) == 6
+
+    def test_jumps_forward(self):
+        lim = _WidthLimiter(2)
+        lim.place(5)
+        assert lim.place(9) == 9
+
+    def test_earliest_in_past_packs_current(self):
+        lim = _WidthLimiter(2)
+        lim.place(10)
+        assert lim.place(3) == 10
+
+    def test_busy_cycles_counted(self):
+        lim = _WidthLimiter(2)
+        lim.place(1)
+        lim.place(1)
+        lim.place(1)   # overflows to cycle 2
+        assert lim.busy_cycles == 2
+
+
+class TestBackend:
+    def test_single_uop_flow(self):
+        backend = OutOfOrderBackend()
+        timing = backend.admit(alu_uop(), arrival=10)
+        assert timing.enqueue == 10
+        assert timing.dispatch == 11
+        assert timing.complete == 12
+        assert timing.retire == 13
+
+    def test_dispatch_width_limits(self):
+        backend = OutOfOrderBackend(CoreConfig(dispatch_width=2))
+        timings = [backend.admit(alu_uop(), arrival=10) for _ in range(4)]
+        assert timings[0].dispatch == timings[1].dispatch == 11
+        assert timings[2].dispatch == timings[3].dispatch == 12
+
+    def test_retire_in_order(self):
+        backend = OutOfOrderBackend()
+        slow = backend.admit(load_uop(), arrival=10)         # latency 4
+        fast = backend.admit(alu_uop(), arrival=10)          # latency 1
+        assert fast.complete < slow.complete
+        assert fast.retire > slow.complete   # waits for the older slow uop
+        assert fast.retire >= slow.retire
+
+    def test_retire_width_limits(self):
+        backend = OutOfOrderBackend(CoreConfig(retire_width=2))
+        timings = [backend.admit(alu_uop(), arrival=10) for _ in range(4)]
+        retire_cycles = sorted(t.retire for t in timings)
+        assert retire_cycles[1] == retire_cycles[0]
+        assert retire_cycles[2] == retire_cycles[0] + 1
+
+    def test_uop_queue_backpressure(self):
+        core = CoreConfig(uop_queue_entries=4, dispatch_width=1)
+        backend = OutOfOrderBackend(core)
+        for _ in range(4):
+            backend.admit(alu_uop(), arrival=0)
+        timing = backend.admit(alu_uop(), arrival=0)
+        # Enqueue waits until the 4-back uop dispatched.
+        assert timing.enqueue >= 1
+
+    def test_rob_occupancy_blocks_dispatch(self):
+        core = CoreConfig(rob_entries=8, dispatch_width=8, retire_width=1,
+                          uop_queue_entries=64)
+        backend = OutOfOrderBackend(core)
+        timings = [backend.admit(alu_uop(), arrival=0) for _ in range(16)]
+        # With 1-wide retire, the 9th uop's dispatch must wait for the 1st
+        # uop's retirement.
+        assert timings[8].dispatch >= timings[0].retire
+
+    def test_load_latency_through_hierarchy(self):
+        from repro.caches.hierarchy import MemoryHierarchy
+        hierarchy = MemoryHierarchy()
+        backend = OutOfOrderBackend(hierarchy=hierarchy)
+        cold = backend.admit(load_uop(), arrival=0, mem_addr=0x10_0000)
+        warm = backend.admit(load_uop(), arrival=0, mem_addr=0x10_0000)
+        assert cold.complete - cold.dispatch > warm.complete - warm.dispatch
+
+    def test_uops_retired_counter(self):
+        backend = OutOfOrderBackend()
+        for _ in range(5):
+            backend.admit(alu_uop(), arrival=0)
+        assert backend.uops_retired == 5
+        assert backend.last_cycle >= 1
+
+    def test_monotone_retire(self):
+        backend = OutOfOrderBackend()
+        last = 0
+        for i in range(50):
+            timing = backend.admit(
+                load_uop() if i % 3 == 0 else alu_uop(), arrival=i // 2)
+            assert timing.retire >= last
+            last = timing.retire
+
+    def test_busy_dispatch_cycles(self):
+        backend = OutOfOrderBackend(CoreConfig(dispatch_width=2))
+        for _ in range(4):
+            backend.admit(alu_uop(), arrival=0)
+        assert backend.busy_dispatch_cycles == 2

@@ -1,0 +1,86 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.charts import (
+    render_bar_chart,
+    render_grouped_bars,
+    render_sparkline,
+)
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = render_bar_chart({"alpha": 1.0, "beta": 0.5}, title="T")
+        assert "T" in text
+        assert "alpha" in text and "beta" in text
+        assert "1.000" in text and "0.500" in text
+
+    def test_bar_lengths_proportional(self):
+        text = render_bar_chart({"big": 1.0, "half": 0.5}, width=40)
+        lines = text.splitlines()
+        big_bar = lines[0].split("|")[1]
+        half_bar = lines[1].split("|")[1]
+        assert big_bar.count("█") == 40
+        assert 18 <= half_bar.count("█") <= 22
+
+    def test_empty_series(self):
+        assert render_bar_chart({}, title="T") == "T"
+
+    def test_zero_max_safe(self):
+        text = render_bar_chart({"x": 0.0})
+        assert "x" in text
+
+    def test_custom_scale(self):
+        text = render_bar_chart({"x": 0.5}, width=10, scale_max=1.0)
+        assert text.split("|")[1].count("█") == 5
+
+    def test_values_beyond_scale_clamped(self):
+        text = render_bar_chart({"x": 2.0}, width=10, scale_max=1.0)
+        assert text.split("|")[1].count("█") == 10
+
+
+class TestGroupedBars:
+    def test_groups_and_columns(self):
+        table = {"w1": {"a": 1.0, "b": 1.2}, "w2": {"a": 0.9, "b": 1.1}}
+        text = render_grouped_bars(table, title="G")
+        assert "G" in text
+        assert "w1" in text and "w2" in text
+        assert text.count("  a ") == 2
+
+    def test_column_order(self):
+        table = {"w": {"b": 1.0, "a": 2.0}}
+        text = render_grouped_bars(table, column_order=["a", "b"])
+        lines = text.splitlines()
+        assert lines[1].strip().startswith("a")
+
+    def test_shared_scale(self):
+        table = {"w1": {"a": 2.0}, "w2": {"a": 1.0}}
+        text = render_grouped_bars(table, width=20)
+        bars = [line.split("|")[1] for line in text.splitlines()
+                if "|" in line]
+        assert bars[0].count("█") == 20
+        assert 8 <= bars[1].count("█") <= 12
+
+    def test_missing_cells_skipped(self):
+        table = {"w1": {"a": 1.0}, "w2": {"b": 1.0}}
+        text = render_grouped_bars(table, column_order=["a", "b"])
+        assert "w1" in text and "w2" in text
+
+    def test_empty(self):
+        assert render_grouped_bars({}, title="G") == "G"
+
+
+class TestSparkline:
+    def test_length_matches_values(self):
+        assert len(render_sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_rise(self):
+        spark = render_sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert spark == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert render_sparkline([2, 2, 2]) == "▄▄▄"
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""

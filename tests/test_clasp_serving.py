@@ -1,0 +1,107 @@
+"""Tests for CLASP-specific end-to-end behaviour: entries spanning I-cache
+lines are built, served in one dispatch, and survive invalidation probes."""
+
+import pytest
+
+from repro.common.config import baseline_config, clasp_config
+from repro.core.simulator import Simulator, simulate
+from repro.isa.instruction import InstClass, X86Instruction
+from repro.workloads.generator import WorkloadProfile, generate_workload
+from repro.workloads.program import BasicBlock, Function, Program
+from repro.workloads.trace import DynamicInst, Trace
+
+
+def straightline_program(start=0x1020, count=30, length=6):
+    """A long straight run crossing several I-cache lines, ending in a
+    backward jump to loop the whole region."""
+    insts = [X86Instruction(address=start + i * length, length=length,
+                            inst_class=InstClass.ALU, uop_count=1)
+             for i in range(count)]
+    jump = X86Instruction(
+        address=start + count * length, length=2,
+        inst_class=InstClass.BRANCH, uop_count=1,
+        branch_kind=__import__(
+            "repro.isa.instruction", fromlist=["BranchKind"]
+        ).BranchKind.UNCONDITIONAL,
+        branch_target=start)
+    block = BasicBlock(instructions=insts + [jump])
+    return Program([Function(name="f", blocks=[block])])
+
+
+def looping_trace(program, iterations=40):
+    records = []
+    insts = sorted(program.instructions(), key=lambda i: i.address)
+    for _ in range(iterations):
+        for inst in insts:
+            next_pc = inst.branch_target if inst.is_branch else \
+                inst.end_address
+            records.append(DynamicInst(pc=inst.address, next_pc=next_pc,
+                                       mem_addr=None))
+    return Trace(program, records, name="clasp-loop")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return looping_trace(straightline_program())
+
+
+class TestClaspServing:
+    def test_baseline_entries_never_span(self, trace):
+        result = simulate(trace, baseline_config(2048), "base")
+        assert result.entries_spanning_lines_fraction == 0.0
+
+    def test_clasp_builds_spanning_entries(self, trace):
+        result = simulate(trace, clasp_config(2048), "clasp")
+        assert result.entries_spanning_lines_fraction > 0.0
+
+    def test_clasp_fewer_entries_for_same_code(self, trace):
+        base = simulate(trace, baseline_config(2048), "base")
+        clasp = simulate(trace, clasp_config(2048), "clasp")
+        assert clasp.uop_cache_fills <= base.uop_cache_fills
+
+    def test_clasp_dispatches_wider(self, trace):
+        """Fused entries deliver more uops per OC dispatch cycle."""
+        base = Simulator(trace, baseline_config(2048), "base")
+        base_result = base.run()
+        clasp = Simulator(trace, clasp_config(2048), "clasp")
+        clasp_result = clasp.run()
+        base_rate = base_result.uops_from_uop_cache / max(1, base.fe_cycles_oc)
+        clasp_rate = clasp_result.uops_from_uop_cache / \
+            max(1, clasp.fe_cycles_oc)
+        assert clasp_rate >= base_rate
+
+    def test_same_uops_delivered(self, trace):
+        base = simulate(trace, baseline_config(2048), "base")
+        clasp = simulate(trace, clasp_config(2048), "clasp")
+        assert base.uops == clasp.uops == trace.num_dynamic_uops
+
+    def test_spanning_entry_invalidated_from_either_line(self, trace):
+        sim = Simulator(trace, clasp_config(2048), "clasp")
+        sim.run()
+        oc = sim.uop_cache
+        # Find a spanning entry and probe its SECOND line.
+        spanning = None
+        for ways in oc._sets:
+            for line in ways:
+                for entry in line.entries:
+                    if entry.spans_icache_lines(64):
+                        spanning = entry
+                        break
+        assert spanning is not None
+        second_line = spanning.icache_lines(64)[1]
+        before = oc.resident_entries()
+        removed = oc.invalidate_icache_line(second_line)
+        assert removed >= 1
+        assert oc.resident_entries() == before - removed
+        oc.check_invariants()
+
+
+class TestClaspOnRealWorkload:
+    def test_clasp_no_worse_on_suite_sample(self):
+        profile = WorkloadProfile(name="clasp-real", num_functions=30,
+                                  blocks_per_function=(3, 8),
+                                  insts_per_block=(2, 8))
+        trace = generate_workload(profile, seed=21).trace(12_000, seed=22)
+        base = simulate(trace, baseline_config(2048), "base")
+        clasp = simulate(trace, clasp_config(2048), "clasp")
+        assert clasp.upc >= base.upc * 0.98

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "bm-x64"])
+        assert args.design == "baseline"
+        assert args.capacity == 2048
+        assert args.warmup == 0
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not-a-workload"])
+
+    def test_run_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bm-x64", "--design", "magic"])
+
+    def test_smt_takes_multiple_workloads(self):
+        args = build_parser().parse_args(["smt", "bm-x64", "bm-lla"])
+        assert args.workloads == ["bm-x64", "bm-lla"]
+
+
+class TestCommands:
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "bm-cc" in out
+        assert "redis" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TAGE" in out
+        assert "32 sets x 8 ways" in out
+
+    def test_table1_with_design(self, capsys):
+        assert main(["table1", "--design", "f-pwac",
+                     "--capacity", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "f-pwac" in out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "paper MPKI" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "bm-x64", "--instructions", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "UPC" in out
+        assert "OC fetch ratio" in out
+
+    def test_run_with_comparison(self, capsys):
+        assert main(["run", "bm-x64", "--design", "f-pwac",
+                     "--instructions", "3000", "--compare-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "vs baseline" in out
+
+    def test_smt_command(self, capsys):
+        assert main(["smt", "bm-x64", "bm-lla",
+                     "--instructions", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate UPC" in out
+
+    def test_sweep_policy_small(self, capsys):
+        assert main(["sweep-policy", "--workloads", "bm-x64",
+                     "--instructions", "3000", "--warmup", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "UPC improvement" in out
+        assert "f-pwac" in out
+
+    def test_sweep_capacity_small(self, capsys):
+        assert main(["sweep-capacity", "--workloads", "bm-x64",
+                     "--instructions", "3000", "--warmup", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "OC_64K" in out
+
+    def test_sweep_rejects_bad_workloads(self):
+        with pytest.raises(Exception):
+            main(["sweep-policy", "--workloads", "nope",
+                  "--instructions", "1000"])

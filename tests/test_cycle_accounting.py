@@ -1,0 +1,55 @@
+"""Tests for the simulator's front-end cycle accounting."""
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.core.simulator import Simulator
+from repro.workloads.generator import WorkloadProfile, generate_workload
+
+PROFILE = WorkloadProfile(name="acct-test", num_functions=20,
+                          blocks_per_function=(3, 6), insts_per_block=(1, 5))
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    trace = generate_workload(PROFILE, seed=13).trace(10_000, seed=14)
+    sim = Simulator(trace, baseline_config(2048), "acct")
+    result = sim.run()
+    return sim, result
+
+
+class TestCycleAccounting:
+    def test_all_categories_nonnegative(self, sim_result):
+        sim, _ = sim_result
+        assert sim.fe_cycles_oc >= 0
+        assert sim.fe_cycles_ic >= 0
+        assert sim.fe_cycles_redirect >= 0
+        assert sim.fe_cycles_backpressure >= 0
+
+    def test_both_supply_paths_used(self, sim_result):
+        sim, _ = sim_result
+        assert sim.fe_cycles_oc > 0
+        assert sim.fe_cycles_ic > 0
+
+    def test_accounting_approximates_total(self, sim_result):
+        """Front-end activity plus stalls should explain most of the
+        total cycle count (the back-end adds only drain latency)."""
+        sim, result = sim_result
+        accounted = (sim.fe_cycles_oc + sim.fe_cycles_ic +
+                     sim.fe_cycles_redirect + sim.fe_cycles_backpressure)
+        assert accounted <= result.cycles
+        assert accounted >= 0.8 * result.cycles
+
+    def test_redirects_track_mispredicts(self, sim_result):
+        sim, result = sim_result
+        if result.branch_mispredicts:
+            assert sim.fe_cycles_redirect > 0
+
+    def test_bigger_cache_shifts_ic_to_oc(self):
+        trace = generate_workload(PROFILE, seed=13).trace(10_000, seed=14)
+        small = Simulator(trace, baseline_config(2048), "s")
+        small.run()
+        large = Simulator(trace, baseline_config(16384), "l")
+        large.run()
+        assert large.fe_cycles_ic <= small.fe_cycles_ic
+        assert large.fe_cycles_oc >= small.fe_cycles_oc

@@ -1,0 +1,49 @@
+"""Unit tests for the decoder power model."""
+
+import pytest
+
+from repro.common.config import PowerConfig
+from repro.power.decoder import DecoderPowerModel
+
+
+class TestDecoderPower:
+    def test_no_activity_idle_energy_only(self):
+        model = DecoderPowerModel(PowerConfig(
+            decode_energy_per_inst=1.0, decoder_active_cycle_energy=0.5,
+            decoder_idle_cycle_energy=0.1))
+        report = model.report(total_cycles=100)
+        assert report.energy == pytest.approx(10.0)
+        assert report.power == pytest.approx(0.1)
+
+    def test_burst_energy(self):
+        model = DecoderPowerModel(PowerConfig(
+            decode_energy_per_inst=1.0, decoder_active_cycle_energy=0.5,
+            decoder_idle_cycle_energy=0.0))
+        model.record_decode_burst(num_insts=8, cycles=2)
+        report = model.report(total_cycles=10)
+        assert report.insts_decoded == 8
+        assert report.active_cycles == 2
+        assert report.energy == pytest.approx(8 * 1.0 + 2 * 0.5)
+
+    def test_power_normalization_behaviour(self):
+        """Fewer decoded instructions at equal cycles => lower power."""
+        heavy = DecoderPowerModel()
+        light = DecoderPowerModel()
+        heavy.record_decode_burst(1000, 250)
+        light.record_decode_burst(100, 25)
+        assert light.report(10_000).power < heavy.report(10_000).power
+
+    def test_negative_burst_rejected(self):
+        with pytest.raises(ValueError):
+            DecoderPowerModel().record_decode_burst(-1, 0)
+
+    def test_zero_cycles_report(self):
+        assert DecoderPowerModel().report(0).power == 0.0
+
+    def test_accumulation(self):
+        model = DecoderPowerModel()
+        model.record_decode_burst(4, 1)
+        model.record_decode_burst(6, 2)
+        report = model.report(100)
+        assert report.insts_decoded == 10
+        assert report.active_cycles == 3

@@ -1,0 +1,32 @@
+"""Smoke tests: the fast example scripts run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestExamples:
+    def test_smc_invalidation(self):
+        result = run_example("smc_invalidation.py")
+        assert result.returncode == 0, result.stderr
+        assert "two-set probe" in result.stdout
+
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "UPC improvement" in result.stdout
+
+    def test_custom_workload(self):
+        result = run_example("custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "CLASP+F-PWAC recovers" in result.stdout

@@ -1,0 +1,131 @@
+"""Tests for the experiment harness (sweeps, normalization, aggregation)."""
+
+import pytest
+
+from repro.common.config import CompactionPolicy
+from repro.core.experiment import (
+    CAPACITY_SWEEP,
+    POLICY_LABELS,
+    SweepResult,
+    policy_config,
+    run_capacity_sweep,
+    run_policy_sweep,
+    run_single,
+    workload_trace,
+)
+from repro.core.metrics import SimulationResult
+
+
+class TestPolicyConfig:
+    def test_baseline(self):
+        cfg = policy_config("baseline", 4096)
+        assert not cfg.uop_cache.clasp
+        assert cfg.uop_cache.capacity_uops == 4096
+
+    def test_clasp(self):
+        cfg = policy_config("clasp")
+        assert cfg.uop_cache.clasp
+        assert cfg.uop_cache.compaction is CompactionPolicy.NONE
+
+    @pytest.mark.parametrize("label,policy", [
+        ("rac", CompactionPolicy.RAC),
+        ("pwac", CompactionPolicy.PWAC),
+        ("f-pwac", CompactionPolicy.F_PWAC),
+    ])
+    def test_compaction_labels(self, label, policy):
+        cfg = policy_config(label)
+        assert cfg.uop_cache.compaction is policy
+        assert cfg.uop_cache.clasp   # paper: compaction results enable CLASP
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ValueError):
+            policy_config("magic")
+
+    def test_max_entries_propagates(self):
+        cfg = policy_config("rac", max_entries_per_line=3)
+        assert cfg.uop_cache.max_entries_per_line == 3
+
+
+class TestTraceCache:
+    def test_trace_memoised(self):
+        a = workload_trace("bm-x64", 2000)
+        b = workload_trace("bm-x64", 2000)
+        assert a is b
+
+    def test_different_lengths_differ(self):
+        a = workload_trace("bm-x64", 2000)
+        b = workload_trace("bm-x64", 3000)
+        assert a is not b
+
+
+def _result(workload, label, upc, power=1.0):
+    result = SimulationResult(workload=workload, config_label=label)
+    result.cycles = 1000
+    result.uops = int(upc * 1000)
+    result.decoder_report = None
+    return result
+
+
+class TestSweepResult:
+    def _sweep(self):
+        sweep = SweepResult()
+        sweep.add(_result("w1", "a", 1.0))
+        sweep.add(_result("w1", "b", 1.2))
+        sweep.add(_result("w2", "a", 2.0))
+        sweep.add(_result("w2", "b", 2.2))
+        return sweep
+
+    def test_workloads_and_labels(self):
+        sweep = self._sweep()
+        assert sweep.workloads() == ["w1", "w2"]
+        assert sweep.labels() == ["a", "b"]
+
+    def test_normalized(self):
+        sweep = self._sweep()
+        table = sweep.normalized(lambda r: r.upc, "a")
+        assert table["w1"]["a"] == pytest.approx(1.0)
+        assert table["w1"]["b"] == pytest.approx(1.2)
+        assert table["w2"]["b"] == pytest.approx(1.1)
+
+    def test_improvement_percent(self):
+        sweep = self._sweep()
+        table = sweep.improvement_percent(lambda r: r.upc, "a")
+        assert table["w1"]["b"] == pytest.approx(20.0)
+
+    def test_mean_over_workloads(self):
+        sweep = self._sweep()
+        normalized = sweep.normalized(lambda r: r.upc, "a")
+        means = sweep.mean_over_workloads(normalized)
+        assert means["b"] == pytest.approx((1.2 + 1.1) / 2)
+
+    def test_geometric_mean(self):
+        sweep = self._sweep()
+        normalized = sweep.normalized(lambda r: r.upc, "a")
+        means = sweep.mean_over_workloads(normalized, geometric=True)
+        assert means["b"] == pytest.approx((1.2 * 1.1) ** 0.5)
+
+
+class TestRealSweeps:
+    """Small end-to-end sweeps on one workload (kept tiny for test speed)."""
+
+    def test_capacity_sweep(self):
+        sweep = run_capacity_sweep(workloads=["bm-x64"],
+                                   capacities=(2048, 8192),
+                                   num_instructions=4000)
+        assert set(sweep.labels()) == {"OC_2K", "OC_8K"}
+        r2k = sweep.results["bm-x64"]["OC_2K"]
+        r8k = sweep.results["bm-x64"]["OC_8K"]
+        assert r8k.oc_fetch_ratio >= r2k.oc_fetch_ratio * 0.99
+
+    def test_policy_sweep(self):
+        sweep = run_policy_sweep(workloads=["bm-x64"],
+                                 labels=("baseline", "f-pwac"),
+                                 num_instructions=4000)
+        base = sweep.results["bm-x64"]["baseline"]
+        fpwac = sweep.results["bm-x64"]["f-pwac"]
+        assert fpwac.oc_fetch_ratio >= base.oc_fetch_ratio * 0.99
+
+    def test_run_single(self):
+        result = run_single("bm-x64", policy_config("baseline"), "b",
+                            num_instructions=4000)
+        assert result.instructions == 4000

@@ -1,0 +1,164 @@
+"""Tests for the per-figure analysis functions."""
+
+import pytest
+
+from repro.analysis.figures import (
+    ENTRY_SIZE_BUCKETS,
+    fig3_capacity_upc_and_power,
+    fig4_capacity_frontend,
+    fig5_entry_size_distribution,
+    fig6_taken_branch_terminations,
+    fig9_spanning_entries,
+    fig12_entries_per_pw,
+    fig15_decoder_power,
+    fig16_upc_improvement,
+    fig17_policy_frontend,
+    fig18_compacted_lines,
+    fig19_compaction_kinds,
+    with_average,
+)
+from repro.common.statistics import Histogram
+from repro.core.experiment import SweepResult
+from repro.core.metrics import SimulationResult
+from repro.power.decoder import DecoderEnergyReport
+from repro.uopcache.cache import FillKind
+from repro.uopcache.entry import EntryTermination
+
+
+def fake_result(workload, label, upc=1.0, power=1.0, fetch=0.5,
+                dispatch=5.0, latency=20.0):
+    result = SimulationResult(workload=workload, config_label=label)
+    result.cycles = 1000
+    result.uops = int(upc * 1000)
+    result.busy_dispatch_cycles = max(1, int(result.uops / dispatch))
+    result.uops_from_uop_cache = int(fetch * result.uops)
+    result.uops_from_decoder = result.uops - result.uops_from_uop_cache
+    result.branch_mispredicts = 10
+    result.mispredict_latency_sum = int(latency * 10)
+    result.decoder_report = DecoderEnergyReport(
+        insts_decoded=100, active_cycles=50, total_cycles=1000,
+        energy=power * 1000)
+    return result
+
+
+def sweep_of(rows):
+    sweep = SweepResult()
+    for row in rows:
+        sweep.add(row)
+    return sweep
+
+
+class TestCapacityFigures:
+    def _sweep(self):
+        return sweep_of([
+            fake_result("w", "OC_2K", upc=1.0, power=1.0, fetch=0.4),
+            fake_result("w", "OC_64K", upc=1.2, power=0.6, fetch=0.9),
+        ])
+
+    def test_fig3(self):
+        data = fig3_capacity_upc_and_power(self._sweep())
+        assert data["normalized_upc"]["w"]["OC_64K"] == pytest.approx(1.2)
+        assert data["normalized_decoder_power"]["w"]["OC_64K"] == \
+            pytest.approx(0.6)
+        assert "average" in data["normalized_upc"]
+
+    def test_fig4(self):
+        data = fig4_capacity_frontend(self._sweep())
+        assert data["normalized_oc_fetch_ratio"]["w"]["OC_64K"] == \
+            pytest.approx((0.9 * 1.2) / (0.4 * 1.0) / 1.2, rel=0.05)
+
+
+class TestDistributionFigures:
+    def _result_with_hist(self):
+        result = fake_result("w", "baseline")
+        hist = Histogram("sizes")
+        for size in (10, 25, 25, 50):
+            hist.record(size)
+        result.entry_size_histogram = hist
+        result.entry_termination_counts = {
+            EntryTermination.TAKEN_BRANCH: 49,
+            EntryTermination.ICACHE_LINE_BOUNDARY: 51,
+        }
+        result.entries_spanning_lines_fraction = 0.25
+        pw_hist = Histogram("pw")
+        for n in (1, 1, 1, 2, 3):
+            pw_hist.record(n)
+        result.entries_per_pw_histogram = pw_hist
+        return result
+
+    def test_fig5(self):
+        table = fig5_entry_size_distribution({"w": self._result_with_hist()})
+        assert table["w"]["1-19"] == pytest.approx(0.25)
+        assert table["w"]["20-39"] == pytest.approx(0.5)
+        assert table["w"]["40-64"] == pytest.approx(0.25)
+
+    def test_fig6(self):
+        table = fig6_taken_branch_terminations({"w": self._result_with_hist()})
+        assert table["w"] == pytest.approx(0.49)
+        assert table["average"] == pytest.approx(0.49)
+
+    def test_fig9(self):
+        table = fig9_spanning_entries({"w": self._result_with_hist()})
+        assert table["w"] == pytest.approx(0.25)
+
+    def test_fig12(self):
+        table = fig12_entries_per_pw({"w": self._result_with_hist()})
+        assert table["w"][1] == pytest.approx(0.6)
+        assert table["w"][2] == pytest.approx(0.2)
+        assert table["w"][3] == pytest.approx(0.2)
+
+
+class TestPolicyFigures:
+    def _sweep(self):
+        return sweep_of([
+            fake_result("w", "baseline", upc=1.0, power=1.0),
+            fake_result("w", "clasp", upc=1.02, power=0.95),
+            fake_result("w", "f-pwac", upc=1.06, power=0.85),
+        ])
+
+    def test_fig15(self):
+        table = fig15_decoder_power(self._sweep())
+        assert table["w"]["f-pwac"] == pytest.approx(0.85)
+
+    def test_fig16(self):
+        table = fig16_upc_improvement(self._sweep())
+        assert table["w"]["f-pwac"] == pytest.approx(6.0)
+        assert "g.mean" in table
+
+    def test_fig17_keys(self):
+        data = fig17_policy_frontend(self._sweep())
+        assert set(data) == {"normalized_oc_fetch_ratio",
+                             "normalized_dispatch_bandwidth",
+                             "normalized_mispredict_latency"}
+
+    def test_fig18(self):
+        result = fake_result("w", "f-pwac")
+        result.compacted_fill_fraction = 0.66
+        table = fig18_compacted_lines({"w": result})
+        assert table["w"] == pytest.approx(0.66)
+
+    def test_fig19(self):
+        result = fake_result("w", "f-pwac")
+        result.fill_kind_counts = {FillKind.RAC: 30, FillKind.PWAC: 40,
+                                   FillKind.F_PWAC: 30, FillKind.ALLOC: 100}
+        table = fig19_compaction_kinds({"w": result})
+        assert table["w"]["rac"] == pytest.approx(0.3)
+        assert table["w"]["pwac"] == pytest.approx(0.4)
+        assert table["w"]["f-pwac"] == pytest.approx(0.3)
+
+    def test_fig19_no_compaction(self):
+        result = fake_result("w", "baseline")
+        result.fill_kind_counts = {FillKind.ALLOC: 10}
+        table = fig19_compaction_kinds({"w": result})
+        assert table["w"]["rac"] == 0.0
+
+
+class TestWithAverage:
+    def test_appends_average_row(self):
+        table = with_average({"a": {"x": 1.0}, "b": {"x": 3.0}})
+        assert table["average"]["x"] == pytest.approx(2.0)
+
+    def test_geometric(self):
+        table = with_average({"a": {"x": 1.0}, "b": {"x": 4.0}},
+                             geometric=True)
+        assert table["average"]["x"] == pytest.approx(2.0)

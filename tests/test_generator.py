@@ -1,0 +1,155 @@
+"""Unit tests for workload generation and trace walking."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.instruction import BranchKind
+from repro.workloads.generator import (
+    BiasedBehavior,
+    IndirectBehavior,
+    LoopBehavior,
+    WorkloadGenerator,
+    WorkloadProfile,
+    generate_workload,
+)
+
+SMALL = WorkloadProfile(name="small-test", num_functions=12,
+                        blocks_per_function=(3, 6), insts_per_block=(2, 6))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(SMALL, seed=3)
+
+
+class TestProfileValidation:
+    def test_zero_functions_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="x", num_functions=0)
+
+    def test_bad_block_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="x", blocks_per_function=(5, 2))
+
+    def test_fraction_overflow_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="x", loop_fraction=0.5, call_fraction=0.5,
+                            uncond_fraction=0.3)
+
+    def test_hard_fraction_bounds(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="x", hard_branch_fraction=1.5)
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate_workload(SMALL, seed=5)
+        b = generate_workload(SMALL, seed=5)
+        assert a.program.num_instructions == b.program.num_instructions
+        pcs_a = sorted(i.address for i in a.program.instructions())
+        pcs_b = sorted(i.address for i in b.program.instructions())
+        assert pcs_a == pcs_b
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(SMALL, seed=5)
+        b = generate_workload(SMALL, seed=6)
+        pcs_a = sorted(i.address for i in a.program.instructions())
+        pcs_b = sorted(i.address for i in b.program.instructions())
+        assert pcs_a != pcs_b
+
+    def test_function_count_includes_driver(self, workload):
+        assert len(workload.program.functions) == SMALL.num_functions + 1
+        assert workload.program.functions[-1].name == "driver"
+
+    def test_entry_is_driver(self, workload):
+        assert workload.program.entry == workload.program.functions[-1].entry
+
+    def test_every_function_ends_in_ret(self, workload):
+        for function in workload.program.functions[:-1]:
+            assert function.blocks[-1].terminator.branch_kind is BranchKind.RET
+
+    def test_direct_branch_targets_decodable(self, workload):
+        program = workload.program
+        for inst in program.instructions():
+            if inst.branch_kind in (BranchKind.CONDITIONAL,
+                                    BranchKind.UNCONDITIONAL, BranchKind.CALL):
+                assert program.contains(inst.branch_target)
+
+    def test_behaviors_attached_to_real_branches(self, workload):
+        program = workload.program
+        for pc, behavior in workload.behaviors.items():
+            inst = program.at(pc)
+            if isinstance(behavior, (LoopBehavior, BiasedBehavior)):
+                assert inst.branch_kind is BranchKind.CONDITIONAL
+            elif isinstance(behavior, IndirectBehavior):
+                assert inst.branch_kind in (BranchKind.INDIRECT,
+                                            BranchKind.INDIRECT_CALL)
+
+    def test_indirect_targets_decodable(self, workload):
+        program = workload.program
+        for behavior in workload.behaviors.values():
+            if isinstance(behavior, IndirectBehavior):
+                for target in behavior.targets:
+                    assert program.contains(target)
+                assert abs(sum(behavior.weights) - 1.0) < 1e-9
+
+    def test_functions_do_not_overlap(self, workload):
+        ranges = []
+        for function in workload.program.functions:
+            lo = min(b.start for b in function.blocks)
+            hi = max(b.end for b in function.blocks)
+            ranges.append((lo, hi))
+        ranges.sort()
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 <= lo2
+
+
+class TestTraceWalk:
+    def test_trace_length(self, workload):
+        trace = workload.trace(5000, seed=1)
+        assert len(trace) == 5000
+
+    def test_trace_validates(self, workload):
+        workload.trace(5000, seed=1).validate()
+
+    def test_trace_deterministic(self, workload):
+        a = workload.trace(2000, seed=9)
+        b = workload.trace(2000, seed=9)
+        assert [(r.pc, r.next_pc) for r in a] == [(r.pc, r.next_pc) for r in b]
+
+    def test_trace_seed_changes_walk(self, workload):
+        a = workload.trace(2000, seed=1)
+        b = workload.trace(2000, seed=2)
+        assert [(r.pc, r.next_pc) for r in a] != [(r.pc, r.next_pc) for r in b]
+
+    def test_zero_length_rejected(self, workload):
+        with pytest.raises(WorkloadError):
+            workload.trace(0)
+
+    def test_memory_addresses_only_on_memory_insts(self, workload):
+        trace = workload.trace(3000, seed=4)
+        for record in trace:
+            inst = trace.program.at(record.pc)
+            if record.mem_addr is not None:
+                assert inst.reads_memory or inst.writes_memory
+
+    def test_loop_branches_respect_trip_counts(self, workload):
+        """A loop branch must fall through exactly once per trip_count visits."""
+        trace = workload.trace(20_000, seed=2)
+        program = workload.program
+        taken = {}
+        fell = {}
+        for record in trace:
+            behavior = workload.behaviors.get(record.pc)
+            if isinstance(behavior, LoopBehavior):
+                inst = program.at(record.pc)
+                if record.next_pc == inst.end_address:
+                    fell[record.pc] = fell.get(record.pc, 0) + 1
+                else:
+                    taken[record.pc] = taken.get(record.pc, 0) + 1
+        for pc, exits in fell.items():
+            behavior = workload.behaviors[pc]
+            total = exits + taken.get(pc, 0)
+            # Every trip_count-th execution falls through (+- trailing partial).
+            expected = total // behavior.trip_count
+            assert abs(exits - expected) <= 1

@@ -1,0 +1,83 @@
+"""Unit tests for the memory hierarchy latency model."""
+
+import pytest
+
+from repro.caches.hierarchy import MemoryHierarchy
+from repro.common.config import MemoryHierarchyConfig
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy()
+
+
+class TestInstructionSide:
+    def test_cold_fetch_pays_full_chain(self, hierarchy):
+        cfg = hierarchy.config
+        latency = hierarchy.fetch_instruction_line(0x40_0000)
+        full = (cfg.l1i.hit_latency_cycles + cfg.l2.hit_latency_cycles +
+                cfg.l3.hit_latency_cycles + cfg.dram_latency_cycles)
+        assert latency == full
+
+    def test_warm_fetch_is_l1_hit(self, hierarchy):
+        hierarchy.fetch_instruction_line(0x40_0000)
+        latency = hierarchy.fetch_instruction_line(0x40_0000)
+        assert latency == hierarchy.config.l1i.hit_latency_cycles
+
+    def test_next_line_prefetched(self, hierarchy):
+        hierarchy.fetch_instruction_line(0x40_0000)
+        latency = hierarchy.fetch_instruction_line(0x40_0040)
+        assert latency == hierarchy.config.l1i.hit_latency_cycles
+
+    def test_prefetch_disabled(self):
+        cfg = MemoryHierarchyConfig(icache_prefetch=False)
+        hierarchy = MemoryHierarchy(cfg)
+        hierarchy.fetch_instruction_line(0x40_0000)
+        latency = hierarchy.fetch_instruction_line(0x40_0040)
+        assert latency > cfg.l1i.hit_latency_cycles
+
+    def test_l2_backs_l1i(self, hierarchy):
+        hierarchy.fetch_instruction_line(0x40_0000)
+        # Evict from tiny L1I by filling many lines, L2 keeps it.
+        stride = 64 * hierarchy.l1i.num_sets
+        for way in range(1, hierarchy.l1i.num_ways + 2):
+            hierarchy.fetch_instruction_line(0x40_0000 + way * stride)
+        latency = hierarchy.fetch_instruction_line(0x40_0000)
+        cfg = hierarchy.config
+        assert latency == cfg.l1i.hit_latency_cycles + cfg.l2.hit_latency_cycles
+
+    def test_smc_invalidation(self, hierarchy):
+        hierarchy.fetch_instruction_line(0x40_0000)
+        hierarchy.invalidate_instruction_line(0x40_0000)
+        assert not hierarchy.l1i.contains(0x40_0000)
+
+
+class TestDataSide:
+    def test_cold_load(self, hierarchy):
+        cfg = hierarchy.config
+        latency = hierarchy.access_data(0x10_0000)
+        assert latency > cfg.l1d.hit_latency_cycles
+
+    def test_warm_load_hits_l1d(self, hierarchy):
+        hierarchy.access_data(0x10_0000)
+        assert hierarchy.access_data(0x10_0000) == \
+            hierarchy.config.l1d.hit_latency_cycles
+
+    def test_stream_prefetch_covers_next_line(self, hierarchy):
+        hierarchy.access_data(0x10_0000)
+        assert hierarchy.access_data(0x10_0040) == \
+            hierarchy.config.l1d.hit_latency_cycles
+
+    def test_streaming_never_misses_after_first(self, hierarchy):
+        first = hierarchy.access_data(0x20_0000)
+        latencies = {hierarchy.access_data(0x20_0000 + off)
+                     for off in range(8, 64 * 32, 8)}
+        assert latencies == {hierarchy.config.l1d.hit_latency_cycles}
+
+    def test_instruction_and_data_share_l2(self, hierarchy):
+        hierarchy.fetch_instruction_line(0x40_0000)
+        # The unified L2 holds the line, so a (pathological) data access to
+        # the same address is at worst an L2 hit.
+        cfg = hierarchy.config
+        latency = hierarchy.access_data(0x40_0000)
+        assert latency <= cfg.l1d.hit_latency_cycles + cfg.l2.hit_latency_cycles

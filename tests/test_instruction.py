@@ -1,0 +1,107 @@
+"""Unit tests for the static x86 instruction model."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.instruction import (
+    MAX_X86_INST_LEN,
+    BranchKind,
+    InstClass,
+    X86Instruction,
+)
+
+
+def make_inst(address=0x1000, length=4, inst_class=InstClass.ALU,
+              uop_count=1, **kwargs):
+    return X86Instruction(address=address, length=length,
+                          inst_class=inst_class, uop_count=uop_count, **kwargs)
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        inst = make_inst()
+        assert inst.address == 0x1000
+        assert inst.end_address == 0x1004
+        assert inst.next_sequential == 0x1004
+
+    def test_max_length_accepted(self):
+        assert make_inst(length=MAX_X86_INST_LEN).length == 15
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_inst(length=0)
+
+    def test_overlong_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_inst(length=16)
+
+    def test_zero_uops_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_inst(uop_count=0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_inst(address=-4)
+
+    def test_direct_branch_requires_target(self):
+        with pytest.raises(WorkloadError):
+            make_inst(inst_class=InstClass.BRANCH,
+                      branch_kind=BranchKind.CONDITIONAL)
+
+    def test_ret_needs_no_target(self):
+        inst = make_inst(inst_class=InstClass.RET, length=1,
+                         branch_kind=BranchKind.RET)
+        assert inst.branch_target is None
+
+    def test_indirect_needs_no_target(self):
+        inst = make_inst(inst_class=InstClass.BRANCH,
+                         branch_kind=BranchKind.INDIRECT)
+        assert inst.is_branch
+
+
+class TestBranchClassification:
+    def test_non_branch(self):
+        inst = make_inst()
+        assert not inst.is_branch
+        assert not inst.is_conditional_branch
+        assert not inst.is_unconditional_transfer
+
+    def test_conditional(self):
+        inst = make_inst(inst_class=InstClass.BRANCH,
+                         branch_kind=BranchKind.CONDITIONAL,
+                         branch_target=0x2000)
+        assert inst.is_branch
+        assert inst.is_conditional_branch
+        assert not inst.is_unconditional_transfer
+
+    @pytest.mark.parametrize("kind", [
+        BranchKind.UNCONDITIONAL, BranchKind.CALL, BranchKind.INDIRECT_CALL,
+        BranchKind.RET, BranchKind.INDIRECT,
+    ])
+    def test_unconditional_transfers(self, kind):
+        target = 0x2000 if kind in (BranchKind.UNCONDITIONAL,
+                                    BranchKind.CALL) else None
+        inst = make_inst(inst_class=InstClass.BRANCH, branch_kind=kind,
+                         branch_target=target)
+        assert inst.is_unconditional_transfer
+
+
+class TestCacheLines:
+    def test_within_one_line(self):
+        inst = make_inst(address=0x1000, length=4)
+        assert inst.cache_lines(64) == (0x1000,)
+        assert not inst.spans_line_boundary(64)
+
+    def test_straddles_boundary(self):
+        inst = make_inst(address=0x103E, length=4)  # bytes 0x103E..0x1041
+        assert inst.cache_lines(64) == (0x1000, 0x1040)
+        assert inst.spans_line_boundary(64)
+
+    def test_ends_exactly_at_boundary(self):
+        inst = make_inst(address=0x103C, length=4)  # last byte 0x103F
+        assert inst.cache_lines(64) == (0x1000,)
+        assert not inst.spans_line_boundary(64)
+
+    def test_starts_at_line_start(self):
+        inst = make_inst(address=0x1040, length=4)
+        assert inst.cache_lines(64) == (0x1040,)

@@ -1,0 +1,112 @@
+"""Tests for the instruction builder's statistical realism."""
+
+import random
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.builder import (
+    FP_HEAVY_MIX,
+    INTEGER_MIX,
+    SERVER_MIX,
+    InstructionBuilder,
+    InstructionMix,
+)
+from repro.isa.instruction import BranchKind, InstClass
+
+
+@pytest.fixture
+def builder():
+    return InstructionBuilder(random.Random(1), INTEGER_MIX)
+
+
+class TestMix:
+    def test_weights_normalized(self):
+        weights = INTEGER_MIX.weights()
+        assert sum(w for _, w in weights) == pytest.approx(1.0)
+
+    def test_zero_mix_rejected(self):
+        mix = InstructionMix(alu=0, nop=0, load=0, store=0, load_alu=0,
+                             fp=0, avx=0, microcoded=0)
+        with pytest.raises(WorkloadError):
+            mix.weights()
+
+    def test_predefined_mixes_valid(self):
+        for mix in (INTEGER_MIX, FP_HEAVY_MIX, SERVER_MIX):
+            assert sum(w for _, w in mix.weights()) == pytest.approx(1.0)
+
+
+class TestStraightline:
+    def test_addresses_respected(self, builder):
+        inst = builder.straightline(0x1234)
+        assert inst.address == 0x1234
+
+    def test_never_a_branch(self, builder):
+        for i in range(200):
+            inst = builder.straightline(0x1000 + i * 16)
+            assert not inst.is_branch
+
+    def test_realistic_mean_length(self):
+        """x86-64 code averages ~3.5-4.5 bytes per instruction."""
+        builder = InstructionBuilder(random.Random(7), INTEGER_MIX)
+        lengths = [builder.straightline(0).length for _ in range(3000)]
+        mean = sum(lengths) / len(lengths)
+        assert 3.0 <= mean <= 5.0
+
+    def test_lengths_within_x86_bounds(self, builder):
+        for _ in range(500):
+            inst = builder.straightline(0)
+            assert 1 <= inst.length <= 15
+
+    def test_uop_inflation_plausible(self):
+        """Average uops per instruction lands near 1.1-1.5."""
+        builder = InstructionBuilder(random.Random(9), INTEGER_MIX)
+        uops = [builder.straightline(0).uop_count for _ in range(3000)]
+        mean = sum(uops) / len(uops)
+        assert 1.0 <= mean <= 1.7
+
+    def test_microcoded_flagged(self):
+        builder = InstructionBuilder(
+            random.Random(3),
+            InstructionMix(alu=0, nop=0, load=0, store=0, load_alu=0,
+                           fp=0, avx=0, microcoded=1.0))
+        inst = builder.straightline(0)
+        assert inst.is_microcoded
+        assert inst.uop_count >= 4
+
+
+class TestControlTransfers:
+    def test_conditional(self, builder):
+        inst = builder.conditional_branch(0x100, 0x200)
+        assert inst.branch_kind is BranchKind.CONDITIONAL
+        assert inst.branch_target == 0x200
+
+    def test_unconditional(self, builder):
+        inst = builder.unconditional_jump(0x100, 0x300)
+        assert inst.branch_kind is BranchKind.UNCONDITIONAL
+
+    def test_call(self, builder):
+        inst = builder.call(0x100, 0x400)
+        assert inst.branch_kind is BranchKind.CALL
+        assert inst.inst_class is InstClass.CALL
+        assert inst.uop_count == 2
+
+    def test_indirect_call(self, builder):
+        inst = builder.indirect_call(0x100)
+        assert inst.branch_kind is BranchKind.INDIRECT_CALL
+        assert inst.branch_target is None
+
+    def test_ret(self, builder):
+        inst = builder.ret(0x100)
+        assert inst.branch_kind is BranchKind.RET
+        assert inst.length == 1
+
+    def test_indirect_jump(self, builder):
+        inst = builder.indirect_jump(0x100)
+        assert inst.branch_kind is BranchKind.INDIRECT
+
+    def test_determinism(self):
+        a = InstructionBuilder(random.Random(5), INTEGER_MIX)
+        b = InstructionBuilder(random.Random(5), INTEGER_MIX)
+        for i in range(100):
+            assert a.straightline(i * 16) == b.straightline(i * 16)

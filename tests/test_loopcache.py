@@ -1,0 +1,68 @@
+"""Unit tests for the loop cache (loop buffer)."""
+
+import pytest
+
+from repro.common.config import LoopCacheConfig
+from repro.frontend.loopcache import LoopCache
+
+
+def enabled_config(**kwargs):
+    defaults = dict(enabled=True, capacity_uops=32,
+                    min_iterations_to_capture=3)
+    defaults.update(kwargs)
+    return LoopCacheConfig(**defaults)
+
+
+class TestCapture:
+    def test_captures_after_threshold(self):
+        lc = LoopCache(enabled_config())
+        assert not lc.observe_taken_branch(0x1040, 0x1000, body_uops=10)
+        assert not lc.observe_taken_branch(0x1040, 0x1000, body_uops=10)
+        assert lc.observe_taken_branch(0x1040, 0x1000, body_uops=10)
+        assert lc.active
+        assert lc.captures == 1
+
+    def test_serves_while_locked(self):
+        lc = LoopCache(enabled_config())
+        for _ in range(5):
+            lc.observe_taken_branch(0x1040, 0x1000, body_uops=10)
+        assert lc.uops_served == 30   # iterations 3, 4, 5
+
+    def test_oversized_loop_never_captured(self):
+        lc = LoopCache(enabled_config(capacity_uops=8))
+        for _ in range(10):
+            assert not lc.observe_taken_branch(0x1040, 0x1000, body_uops=20)
+        assert not lc.active
+
+    def test_forward_branch_not_a_loop(self):
+        lc = LoopCache(enabled_config())
+        for _ in range(10):
+            assert not lc.observe_taken_branch(0x1000, 0x2000, body_uops=4)
+        assert not lc.active
+
+    def test_disabled_never_captures(self):
+        lc = LoopCache(LoopCacheConfig(enabled=False))
+        for _ in range(10):
+            assert not lc.observe_taken_branch(0x1040, 0x1000, body_uops=4)
+        assert not lc.active
+
+
+class TestExit:
+    def test_other_flow_unlocks(self):
+        lc = LoopCache(enabled_config())
+        for _ in range(4):
+            lc.observe_taken_branch(0x1040, 0x1000, body_uops=10)
+        assert lc.active
+        lc.observe_other_flow()
+        assert not lc.active
+
+    def test_different_loop_unlocks_then_recaptures(self):
+        lc = LoopCache(enabled_config(min_iterations_to_capture=2))
+        lc.observe_taken_branch(0x1040, 0x1000, body_uops=10)
+        lc.observe_taken_branch(0x1040, 0x1000, body_uops=10)
+        assert lc.active
+        # A different backward branch begins its own streak.
+        lc.observe_taken_branch(0x2040, 0x2000, body_uops=8)
+        assert not lc.active
+        lc.observe_taken_branch(0x2040, 0x2000, body_uops=8)
+        assert lc.active

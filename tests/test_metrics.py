@@ -1,0 +1,73 @@
+"""Unit tests for SimulationResult's derived metrics."""
+
+import pytest
+
+from repro.core.metrics import SimulationResult
+from repro.power.decoder import DecoderEnergyReport
+from repro.uopcache.entry import EntryTermination
+
+
+def result(**kwargs):
+    r = SimulationResult(workload="w", config_label="c")
+    for key, value in kwargs.items():
+        setattr(r, key, value)
+    return r
+
+
+class TestDerivedMetrics:
+    def test_upc(self):
+        assert result(uops=300, cycles=100).upc == pytest.approx(3.0)
+
+    def test_upc_zero_cycles(self):
+        assert result(uops=300, cycles=0).upc == 0.0
+
+    def test_ipc(self):
+        assert result(instructions=200, cycles=100).ipc == pytest.approx(2.0)
+
+    def test_dispatch_bandwidth(self):
+        r = result(uops=600, busy_dispatch_cycles=120)
+        assert r.dispatch_bandwidth == pytest.approx(5.0)
+
+    def test_oc_fetch_ratio(self):
+        r = result(uops=100, uops_from_uop_cache=80)
+        assert r.oc_fetch_ratio == pytest.approx(0.8)
+
+    def test_hit_rate(self):
+        r = result(uop_cache_hits=30, uop_cache_lookups=40)
+        assert r.uop_cache_hit_rate == pytest.approx(0.75)
+
+    def test_avg_mispredict_latency(self):
+        r = result(mispredict_latency_sum=500, branch_mispredicts=10)
+        assert r.avg_mispredict_latency == pytest.approx(50.0)
+
+    def test_avg_mispredict_latency_no_mispredicts(self):
+        assert result(branch_mispredicts=0).avg_mispredict_latency == 0.0
+
+    def test_branch_mpki(self):
+        r = result(branch_mispredicts=5, instructions=1000)
+        assert r.branch_mpki == pytest.approx(5.0)
+
+    def test_decoder_power_without_report(self):
+        assert result().decoder_power == 0.0
+
+    def test_decoder_power_with_report(self):
+        report = DecoderEnergyReport(insts_decoded=10, active_cycles=5,
+                                     total_cycles=100, energy=20.0)
+        assert result(decoder_report=report).decoder_power == \
+            pytest.approx(0.2)
+
+    def test_taken_termination_fraction(self):
+        r = result(entry_termination_counts={
+            EntryTermination.TAKEN_BRANCH: 49,
+            EntryTermination.MAX_UOPS: 51})
+        assert r.taken_branch_termination_fraction == pytest.approx(0.49)
+
+    def test_taken_termination_empty(self):
+        assert result().taken_branch_termination_fraction == 0.0
+
+    def test_summary_is_flat_floats(self):
+        r = result(uops=100, cycles=50, instructions=80,
+                   busy_dispatch_cycles=20, uops_from_uop_cache=60)
+        summary = r.summary()
+        assert all(isinstance(v, (int, float)) for v in summary.values())
+        assert summary["upc"] == pytest.approx(2.0)

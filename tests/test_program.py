@@ -1,0 +1,113 @@
+"""Unit tests for program images (basic blocks, functions, decode)."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.instruction import BranchKind, InstClass, X86Instruction
+from repro.workloads.program import BasicBlock, Function, Program
+
+
+def seq_insts(start, lengths, **kwargs):
+    """Build a run of ALU instructions at consecutive addresses."""
+    insts, addr = [], start
+    for length in lengths:
+        insts.append(X86Instruction(address=addr, length=length,
+                                    inst_class=InstClass.ALU, uop_count=1))
+        addr += length
+    return insts
+
+
+def simple_program(start=0x1000):
+    block = BasicBlock(instructions=seq_insts(start, [4, 4, 4]))
+    return Program([Function(name="f", blocks=[block])])
+
+
+class TestBasicBlock:
+    def test_start_end_size(self):
+        block = BasicBlock(instructions=seq_insts(0x100, [2, 3, 4]))
+        assert block.start == 0x100
+        assert block.end == 0x109
+        assert block.size_bytes == 9
+        assert len(block) == 3
+
+    def test_terminator(self):
+        block = BasicBlock(instructions=seq_insts(0x100, [2, 2]))
+        assert block.terminator.address == 0x102
+
+    def test_empty_block_start_raises(self):
+        with pytest.raises(WorkloadError):
+            BasicBlock().start
+
+
+class TestFunction:
+    def test_entry(self):
+        block = BasicBlock(instructions=seq_insts(0x200, [4]))
+        assert Function(name="f", blocks=[block]).entry == 0x200
+
+    def test_num_instructions(self):
+        blocks = [BasicBlock(instructions=seq_insts(0x200, [4, 4])),
+                  BasicBlock(instructions=seq_insts(0x208, [4]))]
+        assert Function(name="f", blocks=blocks).num_instructions == 3
+
+    def test_empty_function_raises(self):
+        with pytest.raises(WorkloadError):
+            Function(name="f").entry
+
+
+class TestProgram:
+    def test_at_returns_instruction(self):
+        program = simple_program()
+        assert program.at(0x1004).address == 0x1004
+
+    def test_at_unknown_address_raises(self):
+        with pytest.raises(WorkloadError):
+            simple_program().at(0x9999)
+
+    def test_contains(self):
+        program = simple_program()
+        assert program.contains(0x1000)
+        assert not program.contains(0x1001)
+
+    def test_entry_defaults_to_first_function(self):
+        assert simple_program().entry == 0x1000
+
+    def test_explicit_entry(self):
+        block = BasicBlock(instructions=seq_insts(0x1000, [4, 4]))
+        program = Program([Function(name="f", blocks=[block])], entry=0x1004)
+        assert program.entry == 0x1004
+
+    def test_invalid_entry_raises(self):
+        block = BasicBlock(instructions=seq_insts(0x1000, [4]))
+        with pytest.raises(WorkloadError):
+            Program([Function(name="f", blocks=[block])], entry=0x2000)
+
+    def test_empty_program_raises(self):
+        with pytest.raises(WorkloadError):
+            Program([])
+
+    def test_overlapping_instructions_rejected(self):
+        a = X86Instruction(address=0x100, length=4,
+                           inst_class=InstClass.ALU, uop_count=1)
+        b = X86Instruction(address=0x100, length=2,
+                           inst_class=InstClass.NOP, uop_count=1)
+        f1 = Function(name="a", blocks=[BasicBlock(instructions=[a])])
+        f2 = Function(name="b", blocks=[BasicBlock(instructions=[b])])
+        with pytest.raises(WorkloadError):
+            Program([f1, f2])
+
+    def test_uops_at_memoised(self):
+        program = simple_program()
+        assert program.uops_at(0x1000) is program.uops_at(0x1000)
+
+    def test_num_instructions_and_uops(self):
+        program = simple_program()
+        assert program.num_instructions == 3
+        assert program.num_static_uops == 3
+
+    def test_code_bytes(self):
+        assert simple_program(0x1000).code_bytes == 12
+
+    def test_touched_icache_lines(self):
+        block = BasicBlock(instructions=seq_insts(0x1000, [4] * 20))  # 80 bytes
+        program = Program([Function(name="f", blocks=[block])])
+        assert program.touched_icache_lines(64) == 2

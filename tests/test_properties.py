@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.caches.replacement import Srrip, TreePlru, TrueLru
+from repro.common.config import CompactionPolicy, UopCacheConfig
+from repro.uopcache.builder import AccumulationBuffer
+from repro.uopcache.cache import UopCache
+from repro.workloads.generator import WorkloadProfile, generate_workload
+
+from helpers import make_entry, make_uops, small_oc_config
+
+SLOW = settings(max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow],
+                deadline=None)
+
+
+# --------------------------------------------------------------------------
+# Replacement policies.
+# --------------------------------------------------------------------------
+
+@given(ops=st.lists(st.tuples(st.sampled_from(["hit", "fill"]),
+                              st.integers(0, 7)), max_size=200))
+@SLOW
+def test_lru_recency_is_always_a_permutation(ops):
+    lru = TrueLru(1, 8)
+    for kind, way in ops:
+        if kind == "hit":
+            lru.on_hit(0, way)
+        else:
+            lru.on_fill(0, way)
+    assert sorted(lru.recency_order(0)) == list(range(8))
+
+
+@given(ops=st.lists(st.integers(0, 7), max_size=200))
+@SLOW
+def test_lru_victim_is_never_most_recent(ops):
+    lru = TrueLru(1, 8)
+    for way in ops:
+        lru.on_hit(0, way)
+    if ops:
+        assert lru.victim(0, [True] * 8) != ops[-1]
+
+
+@given(ops=st.lists(st.integers(0, 7), max_size=100),
+       policy_cls=st.sampled_from([TrueLru, TreePlru, Srrip]))
+@SLOW
+def test_every_policy_returns_valid_victims(ops, policy_cls):
+    policy = policy_cls(2, 8)
+    for way in ops:
+        policy.on_fill(0, way)
+    victim = policy.victim(0, [True] * 8)
+    assert 0 <= victim < 8
+
+
+# --------------------------------------------------------------------------
+# Uop cache entry construction.
+# --------------------------------------------------------------------------
+
+inst_strategy = st.tuples(
+    st.integers(1, 3),      # uop count
+    st.integers(1, 15),     # length
+    st.integers(0, 1),      # imm count
+    st.booleans(),          # taken
+)
+
+
+@given(insts=st.lists(inst_strategy, min_size=1, max_size=60))
+@SLOW
+def test_accumulated_entries_respect_all_limits(insts):
+    cfg = UopCacheConfig()
+    buf = AccumulationBuffer(cfg)
+    buf.begin(pw_id=0x1000)
+    pc = 0x1000
+    sealed = []
+    for count, length, imm, taken in insts:
+        uops = make_uops(pc, count=count, inst_length=length, imm=imm)
+        sealed.extend(buf.push(uops, taken=taken))
+        pc += length
+    sealed.extend(buf.flush())
+    for entry in sealed:
+        assert 1 <= entry.num_uops <= cfg.max_uops_per_entry
+        assert entry.num_imm_disp <= cfg.max_imm_disp_per_entry
+        assert entry.size_bytes(cfg) <= cfg.usable_line_bytes
+        assert entry.end_pc > entry.start_pc
+        # Baseline: an entry never spans I-cache lines (start bytes).
+        assert not entry.spans_icache_lines(64)
+
+
+@given(insts=st.lists(inst_strategy, min_size=1, max_size=60))
+@SLOW
+def test_clasp_entries_span_at_most_two_lines(insts):
+    cfg = UopCacheConfig(clasp=True, clasp_max_lines=2)
+    buf = AccumulationBuffer(cfg)
+    buf.begin(pw_id=0x1000)
+    pc = 0x1000
+    sealed = []
+    for count, length, imm, taken in insts:
+        uops = make_uops(pc, count=count, inst_length=length, imm=imm)
+        sealed.extend(buf.push(uops, taken=taken))
+        pc += length
+    sealed.extend(buf.flush())
+    for entry in sealed:
+        assert len(entry.icache_lines(64)) <= 2
+
+
+@given(insts=st.lists(inst_strategy, min_size=1, max_size=60))
+@SLOW
+def test_accumulation_covers_every_cached_instruction_once(insts):
+    buf = AccumulationBuffer(UopCacheConfig())
+    buf.begin(pw_id=0x1000)
+    pc = 0x1000
+    sealed = []
+    pushed_pcs = []
+    bypassed_before = 0
+    for count, length, imm, taken in insts:
+        uops = make_uops(pc, count=count, inst_length=length, imm=imm)
+        sealed.extend(buf.push(uops, taken=taken))
+        if buf.bypassed_uops == bypassed_before:
+            pushed_pcs.append(pc)
+        bypassed_before = buf.bypassed_uops
+        pc += length
+    sealed.extend(buf.flush())
+    covered = [uop.pc for entry in sealed for uop in entry.uops]
+    assert covered == pushed_pcs or set(covered) == set(pushed_pcs)
+
+
+# --------------------------------------------------------------------------
+# Uop cache structural invariants under random fill/invalidate traffic.
+# --------------------------------------------------------------------------
+
+@given(seed=st.integers(0, 10_000),
+       policy=st.sampled_from(list(CompactionPolicy)),
+       max_entries=st.integers(1, 3))
+@SLOW
+def test_cache_invariants_under_random_traffic(seed, policy, max_entries):
+    rng = random.Random(seed)
+    cache = UopCache(small_oc_config(
+        compaction=policy, max_entries_per_line=max_entries,
+        clasp=rng.random() < 0.5))
+    for _ in range(150):
+        action = rng.random()
+        pc = 0x1000 + rng.randrange(0, 64) * 16
+        if action < 0.6:
+            entry = make_entry(pc, num_insts=rng.randint(1, 4),
+                               pw_id=0x1000 + rng.randrange(8) * 64)
+            cache.fill(entry)
+        elif action < 0.8:
+            cache.lookup(pc)
+        else:
+            cache.invalidate_icache_line(pc)
+        cache.check_invariants()
+
+
+@given(seed=st.integers(0, 10_000))
+@SLOW
+def test_lookup_returns_only_filled_start_addresses(seed):
+    rng = random.Random(seed)
+    cache = UopCache(small_oc_config())
+    filled = set()
+    for _ in range(100):
+        pc = 0x1000 + rng.randrange(0, 64) * 16
+        if rng.random() < 0.5:
+            cache.fill(make_entry(pc))
+            filled.add(pc)
+        else:
+            entry = cache.lookup(pc)
+            if entry is not None:
+                assert entry.start_pc == pc
+                assert pc in filled
+
+
+# --------------------------------------------------------------------------
+# Workload generation invariants.
+# --------------------------------------------------------------------------
+
+@given(seed=st.integers(0, 500), functions=st.integers(2, 20))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_generated_traces_are_always_consistent(seed, functions):
+    profile = WorkloadProfile(name=f"prop-{functions}",
+                              num_functions=functions,
+                              blocks_per_function=(2, 5),
+                              insts_per_block=(1, 5))
+    workload = generate_workload(profile, seed=seed)
+    trace = workload.trace(1500, seed=seed + 1)
+    trace.validate()
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_simulation_conserves_uops(seed):
+    from repro.common.config import baseline_config
+    from repro.core.simulator import simulate
+    profile = WorkloadProfile(name="prop-sim", num_functions=10,
+                              blocks_per_function=(2, 5),
+                              insts_per_block=(1, 5))
+    workload = generate_workload(profile, seed=seed)
+    trace = workload.trace(1200, seed=seed)
+    result = simulate(trace, baseline_config(2048), "prop")
+    assert result.uops == trace.num_dynamic_uops
+    assert result.instructions == len(trace)

@@ -1,0 +1,104 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.caches.replacement import Srrip, TreePlru, TrueLru, make_policy
+from repro.common.config import ReplacementKind
+from repro.common.errors import CacheError
+
+
+class TestTrueLru:
+    def test_victim_prefers_invalid(self):
+        lru = TrueLru(1, 4)
+        assert lru.victim(0, [True, False, True, True]) == 1
+
+    def test_victim_is_least_recent(self):
+        lru = TrueLru(1, 4)
+        for way in (0, 1, 2, 3):
+            lru.on_fill(0, way)
+        lru.on_hit(0, 0)
+        assert lru.victim(0, [True] * 4) == 1
+
+    def test_hit_moves_to_mru(self):
+        lru = TrueLru(1, 4)
+        for way in (0, 1, 2, 3):
+            lru.on_fill(0, way)
+        lru.on_hit(0, 1)
+        assert lru.mru_way(0) == 1
+        assert lru.recency_order(0)[-1] == 1
+
+    def test_recency_order_is_permutation(self):
+        lru = TrueLru(2, 8)
+        lru.on_hit(1, 5)
+        lru.on_hit(1, 2)
+        order = lru.recency_order(1)
+        assert sorted(order) == list(range(8))
+        assert order[-1] == 2
+        assert order[-2] == 5
+
+    def test_sets_independent(self):
+        lru = TrueLru(2, 2)
+        lru.on_hit(0, 1)
+        assert lru.victim(1, [True, True]) == 0
+
+    def test_bad_way_rejected(self):
+        with pytest.raises(CacheError):
+            TrueLru(1, 2).on_hit(0, 5)
+
+    def test_bad_set_rejected(self):
+        with pytest.raises(CacheError):
+            TrueLru(1, 2).on_hit(3, 0)
+
+
+class TestTreePlru:
+    def test_requires_pow2_ways(self):
+        with pytest.raises(CacheError):
+            TreePlru(1, 6)
+
+    def test_victim_prefers_invalid(self):
+        plru = TreePlru(1, 4)
+        assert plru.victim(0, [True, True, False, True]) == 2
+
+    def test_recently_touched_not_victim(self):
+        plru = TreePlru(1, 8)
+        for way in range(8):
+            plru.on_fill(0, way)
+        plru.on_hit(0, 3)
+        assert plru.victim(0, [True] * 8) != 3
+
+    def test_all_ways_reachable_as_victims(self):
+        plru = TreePlru(1, 4)
+        victims = set()
+        for _ in range(16):
+            way = plru.victim(0, [True] * 4)
+            victims.add(way)
+            plru.on_fill(0, way)
+        assert victims == {0, 1, 2, 3}
+
+
+class TestSrrip:
+    def test_victim_prefers_invalid(self):
+        rrip = Srrip(1, 4)
+        assert rrip.victim(0, [True, False, True, True]) == 1
+
+    def test_hit_protects_line(self):
+        rrip = Srrip(1, 4)
+        for way in range(4):
+            rrip.on_fill(0, way)
+        rrip.on_hit(0, 2)
+        # Way 2 has RRPV 0; the others 2 -> victim must not be 2.
+        assert rrip.victim(0, [True] * 4) != 2
+
+    def test_aging_terminates(self):
+        rrip = Srrip(1, 2)
+        rrip.on_hit(0, 0)
+        rrip.on_hit(0, 1)
+        way = rrip.victim(0, [True, True])
+        assert way in (0, 1)
+
+
+class TestFactory:
+    def test_make_all_kinds(self):
+        assert isinstance(make_policy(ReplacementKind.LRU, 2, 2), TrueLru)
+        assert isinstance(make_policy(ReplacementKind.TREE_PLRU, 2, 2), TreePlru)
+        assert isinstance(make_policy(ReplacementKind.RRIP, 2, 2), Srrip)

@@ -1,0 +1,55 @@
+"""Tests for the full-text result report."""
+
+import pytest
+
+from repro.analysis.report import render_result
+from repro.common.config import CompactionPolicy, baseline_config, compaction_config
+from repro.core.simulator import simulate
+from repro.workloads.generator import WorkloadProfile, generate_workload
+
+PROFILE = WorkloadProfile(name="report-test", num_functions=16,
+                          blocks_per_function=(2, 6), insts_per_block=(1, 5))
+
+
+@pytest.fixture(scope="module")
+def results():
+    trace = generate_workload(PROFILE, seed=8).trace(6000, seed=9)
+    base = simulate(trace, baseline_config(2048), "baseline")
+    best = simulate(trace,
+                    compaction_config(CompactionPolicy.F_PWAC, 2048),
+                    "f-pwac")
+    return base, best
+
+
+class TestRenderResult:
+    def test_contains_headline_metrics(self, results):
+        text = render_result(results[0])
+        for fragment in ("UPC", "OC fetch ratio", "branch MPKI",
+                         "decoder power", "L1-I hit rate"):
+            assert fragment in text
+
+    def test_contains_workload_and_config(self, results):
+        text = render_result(results[0])
+        assert "report-test" in text
+        assert "baseline" in text
+
+    def test_comparison_mode_shows_deltas(self, results):
+        base, best = results
+        text = render_result(best, baseline=base)
+        assert "vs baseline" in text
+
+    def test_compaction_breakdown_present(self, results):
+        _, best = results
+        text = render_result(best)
+        assert "compacted fills" in text
+        assert "via rac" in text
+
+    def test_baseline_hides_compaction_rows(self, results):
+        base, _ = results
+        text = render_result(base)
+        assert "compacted fills" not in text
+
+    def test_entry_stats_present(self, results):
+        text = render_result(results[0])
+        assert "size 1-19 bytes" in text
+        assert "terminated by taken branch" in text

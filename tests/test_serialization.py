@@ -1,0 +1,115 @@
+"""Tests for workload/trace serialization."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.common.errors import WorkloadError
+from repro.core.simulator import simulate
+from repro.workloads.generator import WorkloadProfile, generate_workload
+from repro.workloads.serialization import (
+    FORMAT_VERSION,
+    load_trace,
+    load_workload,
+    save_trace,
+    save_workload,
+)
+
+PROFILE = WorkloadProfile(name="ser-test", num_functions=10,
+                          blocks_per_function=(2, 5), insts_per_block=(1, 5))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(PROFILE, seed=11)
+
+
+@pytest.fixture(scope="module")
+def trace(workload):
+    return workload.trace(3000, seed=12)
+
+
+class TestWorkloadRoundtrip:
+    def test_program_identical(self, workload, tmp_path):
+        path = tmp_path / "w.json.gz"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.program.num_instructions == \
+            workload.program.num_instructions
+        assert loaded.program.entry == workload.program.entry
+        original = {i.address: i for i in workload.program.instructions()}
+        for inst in loaded.program.instructions():
+            assert original[inst.address] == inst
+
+    def test_behaviors_roundtrip(self, workload, tmp_path):
+        path = tmp_path / "w.json.gz"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert set(loaded.behaviors) == set(workload.behaviors)
+        for pc, behavior in workload.behaviors.items():
+            assert type(loaded.behaviors[pc]) is type(behavior)
+
+    def test_loaded_workload_walks(self, workload, tmp_path):
+        path = tmp_path / "w.json.gz"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        loaded.trace(500, seed=1).validate()
+
+
+class TestTraceRoundtrip:
+    def test_records_identical(self, trace, tmp_path):
+        path = tmp_path / "t.json.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.name == trace.name
+        for original, restored in zip(trace, loaded):
+            assert original.pc == restored.pc
+            assert original.next_pc == restored.next_pc
+            assert original.mem_addr == restored.mem_addr
+
+    def test_loaded_trace_validates(self, trace, tmp_path):
+        path = tmp_path / "t.json.gz"
+        save_trace(trace, path)
+        load_trace(path).validate()
+
+    def test_simulation_identical_after_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.json.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = simulate(trace, baseline_config(2048), "x")
+        b = simulate(loaded, baseline_config(2048), "x")
+        assert a.cycles == b.cycles
+        assert a.uops == b.uops
+        assert a.branch_mispredicts == b.branch_mispredicts
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "missing.json.gz")
+
+    def test_wrong_kind(self, workload, trace, tmp_path):
+        path = tmp_path / "w.json.gz"
+        save_workload(workload, path)
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_wrong_version(self, trace, tmp_path):
+        path = tmp_path / "t.json.gz"
+        save_trace(trace, path)
+        with gzip.open(path, "rt") as handle:
+            payload = json.load(handle)
+        payload["version"] = FORMAT_VERSION + 1
+        with gzip.open(path, "wt") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_not_gzip(self, tmp_path):
+        path = tmp_path / "bad.json.gz"
+        path.write_text("not gzip")
+        with pytest.raises(WorkloadError):
+            load_trace(path)

@@ -1,0 +1,90 @@
+"""Unit tests for the generic set-associative cache."""
+
+import pytest
+
+from repro.caches.setassoc import SetAssociativeCache
+from repro.common.config import CacheLevelConfig, ReplacementKind
+
+
+def make_cache(size=1024, ways=2, line=64, repl=ReplacementKind.LRU):
+    return SetAssociativeCache(CacheLevelConfig(
+        name="test", size_bytes=size, associativity=ways, line_bytes=line,
+        replacement=repl))
+
+
+class TestLookupFill:
+    def test_cold_miss(self):
+        cache = make_cache()
+        assert not cache.lookup(0x1000)
+        assert cache.misses == 1
+
+    def test_fill_then_hit(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.hits == 1
+
+    def test_same_line_offsets_hit(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x103F)
+        assert not cache.lookup(0x1040)
+
+    def test_fill_returns_eviction(self):
+        cache = make_cache(size=256, ways=2, line=64)  # 2 sets x 2 ways
+        sets = cache.num_sets
+        stride = 64 * sets
+        cache.fill(0x0)
+        cache.fill(0x0 + stride)
+        evicted = cache.fill(0x0 + 2 * stride)
+        assert evicted == 0x0
+
+    def test_evicted_address_reconstruction(self):
+        cache = make_cache(size=512, ways=1, line=64)
+        cache.fill(0x1040)
+        evicted = cache.fill(0x1040 + 64 * cache.num_sets)
+        assert evicted == 0x1040
+
+    def test_duplicate_fill_no_eviction(self):
+        cache = make_cache()
+        cache.fill(0x2000)
+        assert cache.fill(0x2000) is None
+        assert cache.resident_lines() == 1
+
+    def test_lru_order(self):
+        cache = make_cache(size=128, ways=2, line=64)   # 1 set x 2 ways
+        cache.fill(0x0)
+        cache.fill(0x40 * cache.num_sets)  # maps to set 0 too
+        cache.lookup(0x0)                  # refresh way holding 0x0
+        cache.fill(0x80 * cache.num_sets)
+        assert cache.contains(0x0)
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self):
+        cache = make_cache()
+        cache.fill(0x3000)
+        assert cache.invalidate(0x3000)
+        assert not cache.contains(0x3000)
+
+    def test_invalidate_missing_returns_false(self):
+        assert not make_cache().invalidate(0x3000)
+
+    def test_flush(self):
+        cache = make_cache()
+        for i in range(8):
+            cache.fill(i * 64)
+        cache.flush()
+        assert cache.resident_lines() == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.lookup(0x0)
+        cache.fill(0x0)
+        cache.lookup(0x0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert make_cache().hit_rate == 0.0

@@ -1,0 +1,149 @@
+"""Integration tests for the full simulator."""
+
+import pytest
+
+from repro.common.config import (
+    CompactionPolicy,
+    baseline_config,
+    clasp_config,
+    compaction_config,
+)
+from repro.core.simulator import Simulator, simulate
+from repro.workloads.generator import WorkloadProfile, generate_workload
+
+PROFILE = WorkloadProfile(name="sim-test", num_functions=48,
+                          blocks_per_function=(3, 8), insts_per_block=(1, 6),
+                          hard_branch_fraction=0.05)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_workload(PROFILE, seed=2).trace(20_000, seed=3)
+
+
+class TestBasicRun:
+    def test_runs_to_completion(self, trace):
+        result = simulate(trace, baseline_config(2048), "b2k")
+        assert result.instructions == len(trace)
+        assert result.cycles > 0
+        assert result.uops >= result.instructions
+
+    def test_uop_conservation(self, trace):
+        """Every uop is supplied by exactly one source."""
+        result = simulate(trace, baseline_config(2048), "b2k")
+        assert result.uops == (result.uops_from_uop_cache +
+                               result.uops_from_decoder +
+                               result.uops_from_loop_cache)
+        assert result.uops == trace.num_dynamic_uops
+
+    def test_deterministic(self, trace):
+        a = simulate(trace, baseline_config(2048), "x")
+        b = simulate(trace, baseline_config(2048), "x")
+        assert a.cycles == b.cycles
+        assert a.uops == b.uops
+        assert a.branch_mispredicts == b.branch_mispredicts
+
+    def test_max_instructions_cap(self, trace):
+        config = baseline_config(2048)
+        import dataclasses
+        config = dataclasses.replace(config, max_instructions=5000)
+        result = simulate(trace, config, "capped")
+        assert result.instructions == 5000
+
+    def test_default_label(self, trace):
+        sim = Simulator(trace, compaction_config(CompactionPolicy.RAC, 4096))
+        assert sim.config_label == "oc4096+clasp+rac"
+
+    def test_summary_keys(self, trace):
+        summary = simulate(trace, baseline_config(2048), "b").summary()
+        for key in ("upc", "oc_fetch_ratio", "decoder_power", "branch_mpki"):
+            assert key in summary
+
+    def test_uop_cache_invariants_after_run(self, trace):
+        sim = Simulator(trace, compaction_config(CompactionPolicy.F_PWAC,
+                                                 2048))
+        sim.run()
+        sim.uop_cache.check_invariants()
+
+
+class TestPaperOrderings:
+    """Qualitative relationships the paper establishes must hold."""
+
+    def test_bigger_cache_higher_fetch_ratio(self, trace):
+        small = simulate(trace, baseline_config(2048), "2k")
+        large = simulate(trace, baseline_config(16384), "16k")
+        assert large.oc_fetch_ratio >= small.oc_fetch_ratio
+
+    def test_bigger_cache_lower_decoder_power(self, trace):
+        small = simulate(trace, baseline_config(2048), "2k")
+        large = simulate(trace, baseline_config(16384), "16k")
+        assert large.decoder_power <= small.decoder_power
+
+    def test_bigger_cache_no_worse_upc(self, trace):
+        small = simulate(trace, baseline_config(2048), "2k")
+        large = simulate(trace, baseline_config(16384), "16k")
+        assert large.upc >= small.upc * 0.995
+
+    def test_compaction_beats_baseline_fetch_ratio(self, trace):
+        base = simulate(trace, baseline_config(2048), "base")
+        fpwac = simulate(trace,
+                         compaction_config(CompactionPolicy.F_PWAC, 2048),
+                         "fpwac")
+        assert fpwac.oc_fetch_ratio >= base.oc_fetch_ratio
+
+    def test_compaction_saves_decoder_power(self, trace):
+        base = simulate(trace, baseline_config(2048), "base")
+        fpwac = simulate(trace,
+                         compaction_config(CompactionPolicy.F_PWAC, 2048),
+                         "fpwac")
+        assert fpwac.decoder_power <= base.decoder_power
+
+    def test_clasp_produces_spanning_entries(self, trace):
+        base = simulate(trace, baseline_config(2048), "base")
+        clasp = simulate(trace, clasp_config(2048), "clasp")
+        assert base.entries_spanning_lines_fraction == 0.0
+        assert clasp.entries_spanning_lines_fraction > 0.0
+
+    def test_compaction_compacts(self, trace):
+        fpwac = simulate(trace,
+                         compaction_config(CompactionPolicy.F_PWAC, 2048),
+                         "fpwac")
+        assert fpwac.compacted_fill_fraction > 0.0
+        assert fpwac.compacted_line_fraction > 0.0
+
+    def test_baseline_never_compacts(self, trace):
+        base = simulate(trace, baseline_config(2048), "base")
+        assert base.compacted_fill_fraction == 0.0
+
+    def test_entry_sizes_bounded_by_line(self, trace):
+        result = simulate(trace, baseline_config(2048), "base")
+        sizes = result.entry_size_histogram.counts
+        assert max(sizes) <= 62
+        assert min(sizes) >= 7
+
+    def test_entries_per_pw_small(self, trace):
+        result = simulate(trace, baseline_config(2048), "base")
+        hist = result.entries_per_pw_histogram
+        assert hist.total > 0
+        # Most PWs map to 1-3 entries (Fig. 12).
+        assert hist.fraction_in(1, 3) > 0.9
+
+
+class TestMetricsDerivation:
+    def test_upc_matches_components(self, trace):
+        result = simulate(trace, baseline_config(2048), "b")
+        assert result.upc == pytest.approx(result.uops / result.cycles)
+
+    def test_fetch_ratio_in_unit_interval(self, trace):
+        result = simulate(trace, baseline_config(2048), "b")
+        assert 0.0 <= result.oc_fetch_ratio <= 1.0
+
+    def test_mpki_consistent(self, trace):
+        result = simulate(trace, baseline_config(2048), "b")
+        assert result.branch_mpki == pytest.approx(
+            1000 * result.branch_mispredicts / result.instructions)
+
+    def test_mispredict_latency_positive(self, trace):
+        result = simulate(trace, baseline_config(2048), "b")
+        if result.branch_mispredicts:
+            assert result.avg_mispredict_latency > 0

@@ -1,0 +1,59 @@
+"""Integration tests for the loop cache inside the full simulator."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import LoopCacheConfig, baseline_config
+from repro.core.simulator import simulate
+from repro.workloads.generator import WorkloadProfile, generate_workload
+
+# A loop-heavy profile: long trip counts, many loop blocks.
+LOOPY = WorkloadProfile(name="loopy", num_functions=12,
+                        blocks_per_function=(3, 6), insts_per_block=(2, 5),
+                        loop_fraction=0.35, call_fraction=0.05,
+                        hard_branch_fraction=0.0,
+                        loop_trip_counts=(16, 32, 64))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_workload(LOOPY, seed=4).trace(15_000, seed=5)
+
+
+def loop_config(capacity=48, min_iterations=3):
+    return dataclasses.replace(
+        baseline_config(2048),
+        loop_cache=LoopCacheConfig(enabled=True, capacity_uops=capacity,
+                                   min_iterations_to_capture=min_iterations))
+
+
+class TestLoopCacheIntegration:
+    def test_serves_uops_on_loopy_code(self, trace):
+        result = simulate(trace, loop_config(), "loop")
+        assert result.uops_from_loop_cache > 0
+
+    def test_uop_conservation_with_loop_cache(self, trace):
+        result = simulate(trace, loop_config(), "loop")
+        assert result.uops == (result.uops_from_uop_cache +
+                               result.uops_from_decoder +
+                               result.uops_from_loop_cache)
+        assert result.uops == trace.num_dynamic_uops
+
+    def test_disabled_serves_nothing(self, trace):
+        result = simulate(trace, baseline_config(2048), "base")
+        assert result.uops_from_loop_cache == 0
+
+    def test_loop_uops_bypass_decoder(self, trace):
+        base = simulate(trace, baseline_config(2048), "base")
+        loop = simulate(trace, loop_config(), "loop")
+        assert loop.uops_from_decoder <= base.uops_from_decoder
+
+    def test_tiny_capacity_captures_less(self, trace):
+        big = simulate(trace, loop_config(capacity=64), "big")
+        tiny = simulate(trace, loop_config(capacity=4), "tiny")
+        assert tiny.uops_from_loop_cache <= big.uops_from_loop_cache
+
+    def test_instruction_count_preserved(self, trace):
+        result = simulate(trace, loop_config(), "loop")
+        assert result.instructions == len(trace)

@@ -1,0 +1,86 @@
+"""Tests for the SMT (shared uop cache) simulator."""
+
+import pytest
+
+from repro.common.config import (
+    CompactionPolicy,
+    baseline_config,
+    compaction_config,
+)
+from repro.common.errors import SimulationError
+from repro.core.simulator import simulate
+from repro.core.smt import SmtSimulator, simulate_smt
+from repro.workloads.generator import WorkloadProfile, generate_workload
+
+PROFILE_A = WorkloadProfile(name="smt-a", num_functions=24,
+                            blocks_per_function=(3, 6),
+                            insts_per_block=(1, 5))
+PROFILE_B = WorkloadProfile(name="smt-b", num_functions=24,
+                            blocks_per_function=(3, 6),
+                            insts_per_block=(1, 5))
+
+
+@pytest.fixture(scope="module")
+def traces():
+    a = generate_workload(PROFILE_A, seed=1).trace(8000, seed=2)
+    b = generate_workload(PROFILE_B, seed=3).trace(8000, seed=4)
+    return a, b
+
+
+class TestSmtBasics:
+    def test_requires_two_threads(self, traces):
+        with pytest.raises(SimulationError):
+            SmtSimulator([traces[0]])
+
+    def test_both_threads_complete(self, traces):
+        result = simulate_smt(list(traces), baseline_config(2048))
+        assert len(result.per_thread) == 2
+        for thread_result, trace in zip(result.per_thread, traces):
+            assert thread_result.instructions == len(trace)
+            assert thread_result.uops == trace.num_dynamic_uops
+
+    def test_threads_share_one_uop_cache(self, traces):
+        smt = SmtSimulator(list(traces), baseline_config(2048))
+        assert smt.threads[0].uop_cache is smt.threads[1].uop_cache
+        smt.run()
+        smt.uop_cache.check_invariants()
+
+    def test_aggregate_metrics(self, traces):
+        result = simulate_smt(list(traces), baseline_config(2048))
+        assert result.total_uops == sum(r.uops for r in result.per_thread)
+        assert result.cycles == max(r.cycles for r in result.per_thread)
+        assert 0 < result.aggregate_upc
+        assert 0 <= result.aggregate_fetch_ratio <= 1
+
+    def test_deterministic(self, traces):
+        a = simulate_smt(list(traces), baseline_config(2048))
+        b = simulate_smt(list(traces), baseline_config(2048))
+        assert a.cycles == b.cycles
+        assert a.total_uops == b.total_uops
+
+    def test_summary_keys(self, traces):
+        summary = simulate_smt(list(traces), baseline_config(2048)).summary()
+        assert set(summary) == {"aggregate_upc", "aggregate_fetch_ratio",
+                                "cycles", "total_uops"}
+
+
+class TestSharingEffects:
+    def test_sharing_reduces_per_thread_fetch_ratio(self, traces):
+        """Co-running threads compete for uop cache capacity."""
+        solo = simulate(traces[0], baseline_config(2048), "solo")
+        shared = simulate_smt(list(traces), baseline_config(2048))
+        assert shared.per_thread[0].oc_fetch_ratio <= \
+            solo.oc_fetch_ratio + 0.02
+
+    def test_compaction_helps_under_sharing(self, traces):
+        base = simulate_smt(list(traces), baseline_config(2048))
+        fpwac = simulate_smt(
+            list(traces), compaction_config(CompactionPolicy.F_PWAC, 2048))
+        assert fpwac.aggregate_fetch_ratio >= \
+            base.aggregate_fetch_ratio - 0.005
+
+    def test_three_threads(self, traces):
+        c = generate_workload(PROFILE_A, seed=9).trace(5000, seed=9)
+        result = simulate_smt([traces[0], traces[1], c],
+                              baseline_config(2048))
+        assert len(result.per_thread) == 3

@@ -1,0 +1,149 @@
+"""Unit tests for the statistics primitives."""
+
+import math
+
+import pytest
+
+from repro.common.statistics import (
+    Counter,
+    Histogram,
+    RunningMean,
+    StatGroup,
+    arithmetic_mean,
+    geometric_mean,
+    ratio,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_increment_default(self):
+        c = Counter("c")
+        c.increment()
+        assert c.value == 1
+
+    def test_increment_amount(self):
+        c = Counter("c")
+        c.increment(5)
+        c.increment(2)
+        assert c.value == 7
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.increment(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_empty_total_and_mean(self):
+        h = Histogram("h")
+        assert h.total == 0
+        assert h.mean() == 0.0
+
+    def test_record_and_total(self):
+        h = Histogram("h")
+        h.record(3)
+        h.record(3)
+        h.record(7)
+        assert h.total == 3
+        assert h.counts == {3: 2, 7: 1}
+
+    def test_weighted_record(self):
+        h = Histogram("h")
+        h.record(4, weight=10)
+        assert h.total == 10
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").record(1, weight=-1)
+
+    def test_mean(self):
+        h = Histogram("h")
+        h.record(2)
+        h.record(4)
+        assert h.mean() == pytest.approx(3.0)
+
+    def test_fraction_in_inclusive_bounds(self):
+        h = Histogram("h")
+        for v in (1, 19, 20, 39, 40, 64):
+            h.record(v)
+        assert h.fraction_in(1, 19) == pytest.approx(2 / 6)
+        assert h.fraction_in(20, 39) == pytest.approx(2 / 6)
+        assert h.fraction_in(40, 64) == pytest.approx(2 / 6)
+
+    def test_fraction_in_empty(self):
+        assert Histogram("h").fraction_in(0, 10) == 0.0
+
+    def test_bucketed_keys(self):
+        h = Histogram("h")
+        h.record(5)
+        buckets = h.bucketed([(1, 19), (20, 39)])
+        assert set(buckets) == {"1-19", "20-39"}
+        assert buckets["1-19"] == 1.0
+
+    def test_merge(self):
+        a, b = Histogram("a"), Histogram("b")
+        a.record(1)
+        b.record(1)
+        b.record(2)
+        a.merge(b)
+        assert a.counts == {1: 2, 2: 1}
+
+
+class TestRunningMean:
+    def test_empty_mean_is_zero(self):
+        assert RunningMean("m").mean == 0.0
+
+    def test_mean_of_values(self):
+        m = RunningMean("m")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            m.record(v)
+        assert m.mean == pytest.approx(2.5)
+        assert m.count == 4
+
+
+class TestStatGroup:
+    def test_counter_identity(self):
+        g = StatGroup("x")
+        assert g.counter("hits") is g.counter("hits")
+
+    def test_as_dict_contains_all(self):
+        g = StatGroup("pfx")
+        g.counter("hits").increment(2)
+        g.histogram("sizes").record(10)
+        g.running_mean("lat").record(5.0)
+        d = g.as_dict()
+        assert d["pfx.hits"] == 2
+        assert d["pfx.sizes.total"] == 1
+        assert d["pfx.lat.mean"] == 5.0
+
+
+class TestHelpers:
+    def test_ratio_zero_denominator(self):
+        assert ratio(5, 0) == 0.0
+
+    def test_ratio(self):
+        assert ratio(1, 4) == 0.25
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_arithmetic_mean_empty(self):
+        assert arithmetic_mean([]) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for table/series text rendering."""
+
+from repro.analysis.tables import (
+    render_series,
+    render_table,
+    render_table1,
+    render_table2,
+)
+from repro.common.config import SimulatorConfig, baseline_config
+from repro.workloads.suite import PAPER_BRANCH_MPKI, WORKLOAD_NAMES
+
+
+class TestRenderTable:
+    def test_rows_and_columns(self):
+        text = render_table({"w1": {"a": 1.0, "b": 2.0}}, title="T")
+        assert "T" in text
+        assert "w1" in text
+        assert "1.000" in text and "2.000" in text
+
+    def test_column_order(self):
+        text = render_table({"w": {"b": 2.0, "a": 1.0}},
+                            column_order=["a", "b"])
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_missing_cell_blank(self):
+        text = render_table({"w1": {"a": 1.0}, "w2": {"b": 2.0}},
+                            column_order=["a", "b"])
+        assert "w2" in text
+
+
+class TestRenderSeries:
+    def test_basic(self):
+        text = render_series({"x": 0.5, "longer-name": 1.5})
+        assert "x" in text and "longer-name" in text
+        assert "0.500" in text
+
+
+class TestTable1:
+    def test_contains_paper_parameters(self):
+        text = render_table1()
+        assert "6 per cycle" in text            # dispatch width
+        assert "8 per cycle" in text            # retire width
+        assert "160 entries" in text
+        assert "256 entries" in text
+        assert "3-cycle latency, 4 insts/cycle" in text
+        assert "32 sets x 8 ways" in text
+        assert "56 bits" in text
+        assert "TAGE" in text
+        assert "32KB" in text
+        assert "512KB" in text
+        assert "2MB" in text
+
+    def test_reflects_overrides(self):
+        text = render_table1(baseline_config(65536).with_uop_cache(clasp=True))
+        assert "1024 sets" in text
+        assert "CLASP" in text
+
+
+class TestTable2:
+    def test_lists_all_workloads(self):
+        text = render_table2()
+        for name in WORKLOAD_NAMES:
+            assert name in text
+
+    def test_shows_paper_mpki(self):
+        text = render_table2()
+        assert f"{PAPER_BRANCH_MPKI['bm-lla']:.2f}" in text
+
+    def test_measured_column(self):
+        text = render_table2(measured_mpki={name: 1.0
+                                            for name in WORKLOAD_NAMES})
+        assert "measured" in text

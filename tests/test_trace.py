@@ -1,0 +1,91 @@
+"""Unit tests for trace representation and validation."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.instruction import BranchKind, InstClass, X86Instruction
+from repro.workloads.program import BasicBlock, Function, Program
+from repro.workloads.trace import DynamicInst, Trace
+
+
+def build_program():
+    """Two instructions and a conditional branch back to the first."""
+    a = X86Instruction(address=0x100, length=4, inst_class=InstClass.ALU,
+                       uop_count=1)
+    b = X86Instruction(address=0x104, length=4, inst_class=InstClass.LOAD,
+                       uop_count=1, reads_memory=True)
+    br = X86Instruction(address=0x108, length=2, inst_class=InstClass.BRANCH,
+                        uop_count=1, branch_kind=BranchKind.CONDITIONAL,
+                        branch_target=0x100)
+    block = BasicBlock(instructions=[a, b, br])
+    return Program([Function(name="f", blocks=[block])])
+
+
+def records_loop_twice():
+    return [
+        DynamicInst(pc=0x100, next_pc=0x104, mem_addr=None),
+        DynamicInst(pc=0x104, next_pc=0x108, mem_addr=0x8000),
+        DynamicInst(pc=0x108, next_pc=0x100, mem_addr=None),   # taken
+        DynamicInst(pc=0x100, next_pc=0x104, mem_addr=None),
+        DynamicInst(pc=0x104, next_pc=0x108, mem_addr=0x8008),
+        DynamicInst(pc=0x108, next_pc=0x10A, mem_addr=None),   # not taken
+    ]
+
+
+class TestDynamicInst:
+    def test_taken_detection(self):
+        program = build_program()
+        branch = program.at(0x108)
+        taken = DynamicInst(pc=0x108, next_pc=0x100, mem_addr=None)
+        fallthrough = DynamicInst(pc=0x108, next_pc=0x10A, mem_addr=None)
+        assert taken.taken(branch)
+        assert not fallthrough.taken(branch)
+
+
+class TestTrace:
+    def test_len_and_iteration(self):
+        trace = Trace(build_program(), records_loop_twice())
+        assert len(trace) == 6
+        assert [r.pc for r in trace][:3] == [0x100, 0x104, 0x108]
+
+    def test_indexing(self):
+        trace = Trace(build_program(), records_loop_twice())
+        assert trace[2].pc == 0x108
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(build_program(), [])
+
+    def test_num_dynamic_uops(self):
+        trace = Trace(build_program(), records_loop_twice())
+        assert trace.num_dynamic_uops == 6
+
+    def test_validate_accepts_good_trace(self):
+        Trace(build_program(), records_loop_twice()).validate()
+
+    def test_validate_rejects_nonbranch_divert(self):
+        records = [DynamicInst(pc=0x100, next_pc=0x108, mem_addr=None)]
+        with pytest.raises(WorkloadError):
+            Trace(build_program(), records).validate()
+
+    def test_validate_rejects_mismatched_successor(self):
+        records = [
+            DynamicInst(pc=0x100, next_pc=0x104, mem_addr=None),
+            DynamicInst(pc=0x108, next_pc=0x10A, mem_addr=None),
+        ]
+        with pytest.raises(WorkloadError):
+            Trace(build_program(), records).validate()
+
+    def test_validate_rejects_undecodable_pc(self):
+        records = [DynamicInst(pc=0x999, next_pc=0x99D, mem_addr=None)]
+        with pytest.raises(WorkloadError):
+            Trace(build_program(), records).validate()
+
+    def test_branch_stats(self):
+        trace = Trace(build_program(), records_loop_twice())
+        stats = trace.branch_stats()
+        assert stats.instructions == 6
+        assert stats.branches == 2
+        assert stats.conditional_branches == 2
+        assert stats.taken_branches == 1
+        assert stats.branch_density == pytest.approx(2 / 6)

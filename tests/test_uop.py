@@ -1,0 +1,77 @@
+"""Unit tests for uop cracking (decode semantics)."""
+
+import pytest
+
+from repro.isa.instruction import BranchKind, InstClass, X86Instruction
+from repro.isa.uop import UOP_BYTES, Uop, UopKind, decode_instruction
+
+
+def make_inst(inst_class, uop_count, imm=0, address=0x400, length=4,
+              branch_kind=BranchKind.NONE, target=None, micro=False):
+    return X86Instruction(address=address, length=length,
+                          inst_class=inst_class, uop_count=uop_count,
+                          imm_disp_count=imm, branch_kind=branch_kind,
+                          branch_target=target, is_microcoded=micro)
+
+
+class TestDecode:
+    def test_simple_alu(self):
+        uops = decode_instruction(make_inst(InstClass.ALU, 1))
+        assert len(uops) == 1
+        assert uops[0].kind is UopKind.ALU
+        assert uops[0].slot == 0
+        assert uops[0].num_slots == 1
+        assert uops[0].is_last_of_inst
+
+    def test_load_alu_cracks_to_two(self):
+        uops = decode_instruction(make_inst(InstClass.LOAD_ALU, 2))
+        assert [u.kind for u in uops] == [UopKind.LOAD, UopKind.ALU]
+
+    def test_uop_count_respected(self):
+        uops = decode_instruction(
+            make_inst(InstClass.MICROCODED, 6, micro=True))
+        assert len(uops) == 6
+        assert all(u.is_microcoded for u in uops)
+
+    def test_branch_uop_is_last(self):
+        inst = make_inst(InstClass.CALL, 2, branch_kind=BranchKind.CALL,
+                         target=0x9000, length=5)
+        uops = decode_instruction(inst)
+        assert uops[-1].kind is UopKind.BRANCH
+        assert uops[-1].branch_kind is BranchKind.CALL
+        assert uops[-1].branch_target == 0x9000
+        assert uops[0].branch_kind is BranchKind.NONE
+
+    def test_ret_cracks_to_load_plus_branch(self):
+        inst = make_inst(InstClass.RET, 2, branch_kind=BranchKind.RET, length=1)
+        uops = decode_instruction(inst)
+        assert [u.kind for u in uops] == [UopKind.LOAD, UopKind.BRANCH]
+
+    def test_imm_fields_attach_to_leading_uops(self):
+        uops = decode_instruction(make_inst(InstClass.LOAD_ALU, 2, imm=1))
+        assert uops[0].has_imm_disp
+        assert not uops[1].has_imm_disp
+
+    def test_pc_and_length_propagate(self):
+        uops = decode_instruction(make_inst(InstClass.ALU, 1, address=0x1234,
+                                            length=3))
+        assert uops[0].pc == 0x1234
+        assert uops[0].next_sequential_pc == 0x1237
+
+    def test_size_bytes(self):
+        uops = decode_instruction(make_inst(InstClass.ALU, 1))
+        assert uops[0].size_bytes == UOP_BYTES == 7
+
+    def test_exec_latency_positive(self):
+        for inst_class, count in [(InstClass.ALU, 1), (InstClass.FP, 1),
+                                  (InstClass.LOAD, 1), (InstClass.AVX, 2)]:
+            for uop in decode_instruction(make_inst(inst_class, count)):
+                assert uop.exec_latency >= 1
+
+    def test_conditional_branch_uop(self):
+        inst = make_inst(InstClass.BRANCH, 1,
+                         branch_kind=BranchKind.CONDITIONAL, target=0x800,
+                         length=2)
+        uops = decode_instruction(inst)
+        assert len(uops) == 1
+        assert uops[0].is_branch

@@ -1,0 +1,206 @@
+"""Unit tests for the uop cache structure: lookup, fill, eviction, invalidate."""
+
+import pytest
+
+from repro.common.config import CompactionPolicy, UopCacheConfig
+from repro.common.errors import CacheError
+from repro.uopcache.cache import FillKind, UopCache
+from repro.uopcache.entry import EntryTermination
+
+from helpers import make_entry, small_oc_config
+
+
+def make_cache(**kwargs):
+    return UopCache(small_oc_config(**kwargs))
+
+
+class TestIndexing:
+    def test_same_line_same_set(self):
+        cache = make_cache()
+        assert cache.set_index(0x1000) == cache.set_index(0x103F)
+
+    def test_consecutive_lines_consecutive_sets(self):
+        cache = make_cache()
+        a = cache.set_index(0x1000)
+        b = cache.set_index(0x1040)
+        assert b == (a + 1) % cache.config.num_sets
+
+
+class TestLookupFill:
+    def test_cold_miss(self):
+        cache = make_cache()
+        assert cache.lookup(0x1000) is None
+        assert cache.misses == 1
+
+    def test_fill_then_hit(self):
+        cache = make_cache()
+        entry = make_entry(0x1000)
+        result = cache.fill(entry)
+        assert result.kind is FillKind.ALLOC
+        hit = cache.lookup(0x1000)
+        assert hit is entry
+        assert cache.hits == 1
+
+    def test_lookup_requires_exact_start(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000, num_insts=4))
+        assert cache.lookup(0x1004) is None
+
+    def test_entries_at_different_offsets_coexist(self):
+        """Both 'B' and 'AB' instances live in the same set (Section II-B4)."""
+        cache = make_cache()
+        ab = make_entry(0x1000, num_insts=4)   # covers 0x1000..0x1010
+        b = make_entry(0x1008, num_insts=2)    # starts mid-range
+        cache.fill(ab)
+        cache.fill(b)
+        assert cache.lookup(0x1000) is ab
+        assert cache.lookup(0x1008) is b
+
+    def test_duplicate_fill_ignored(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000))
+        result = cache.fill(make_entry(0x1000))
+        assert result.kind is FillKind.DUPLICATE
+        assert cache.fill_kind_counts[FillKind.DUPLICATE] == 1
+
+    def test_eviction_on_full_set(self):
+        cache = make_cache()  # 4 sets x 2 ways
+        stride = 64 * cache.config.num_sets
+        e0 = make_entry(0x1000)
+        e1 = make_entry(0x1000 + stride)
+        e2 = make_entry(0x1000 + 2 * stride)
+        cache.fill(e0)
+        cache.fill(e1)
+        result = cache.fill(e2)
+        assert result.evicted == [e0]
+        assert cache.lookup(0x1000) is None
+
+    def test_lru_protects_hit_entry(self):
+        cache = make_cache()
+        stride = 64 * cache.config.num_sets
+        e0 = make_entry(0x1000)
+        e1 = make_entry(0x1000 + stride)
+        cache.fill(e0)
+        cache.fill(e1)
+        cache.lookup(0x1000)             # refresh e0
+        result = cache.fill(make_entry(0x1000 + 2 * stride))
+        assert result.evicted == [e1]
+
+    def test_oversized_entry_rejected(self):
+        cache = make_cache()
+        with pytest.raises(CacheError):
+            cache.fill(make_entry(0x1000, num_insts=10, uops_per_inst=1,
+                                  imm_per_inst=1))
+
+    def test_malformed_entry_rejected(self):
+        from repro.uopcache.entry import UopCacheEntry
+        from helpers import make_uops
+        bad = UopCacheEntry(start_pc=0x1000, pw_id=0x1000,
+                            uops=make_uops(0x1000, 1), end_pc=0x0FF0)
+        cache = make_cache()
+        with pytest.raises(CacheError):
+            cache.fill(bad)
+
+    def test_probe_does_not_update_stats(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000))
+        assert cache.probe(0x1000)
+        assert not cache.probe(0x2000)
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestStats:
+    def test_entry_size_histogram_records_fills(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000, num_insts=2))   # 2 uops = 14B
+        assert cache.entry_size_histogram.total == 1
+        assert cache.entry_size_histogram.mean() == 14.0
+
+    def test_termination_counts(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000,
+                              termination=EntryTermination.TAKEN_BRANCH))
+        cache.fill(make_entry(0x2000,
+                              termination=EntryTermination.MAX_UOPS))
+        counts = cache.termination_counts
+        assert counts[EntryTermination.TAKEN_BRANCH] == 1
+        assert counts[EntryTermination.MAX_UOPS] == 1
+
+    def test_spanning_fraction(self):
+        cache = UopCache(small_oc_config(clasp=True))
+        cache.fill(make_entry(0x1038, num_insts=4))   # spans 2 lines
+        cache.fill(make_entry(0x2000, num_insts=2))
+        assert cache.spanning_fill_fraction == pytest.approx(0.5)
+
+    def test_resident_counts(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000, num_insts=3))
+        assert cache.resident_entries() == 1
+        assert cache.resident_uops() == 3
+
+    def test_utilization(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000, num_insts=2))   # 14B of 62B
+        assert cache.utilization() == pytest.approx(14 / 62)
+
+    def test_flush(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000))
+        cache.flush()
+        assert cache.resident_entries() == 0
+        assert cache.lookup(0x1000) is None
+
+
+class TestInvalidation:
+    def test_invalidates_entries_in_line(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000))
+        removed = cache.invalidate_icache_line(0x1000)
+        assert removed == 1
+        assert cache.lookup(0x1000) is None
+
+    def test_unrelated_lines_survive(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000))
+        cache.fill(make_entry(0x2000))
+        cache.invalidate_icache_line(0x1000)
+        assert cache.lookup(0x2000) is not None
+
+    def test_mid_line_address_normalized(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1008))
+        assert cache.invalidate_icache_line(0x1020) == 1
+
+    def test_clasp_probe_reaches_spanning_entry(self):
+        """A CLASP entry starting in line L-1 spanning into L must be found
+        by an invalidating probe for L (Section V-A)."""
+        cache = UopCache(small_oc_config(clasp=True))
+        spanning = make_entry(0x1038, num_insts=4)  # 0x1038..0x1048
+        cache.fill(spanning)
+        removed = cache.invalidate_icache_line(0x1040)
+        assert removed == 1
+
+    def test_baseline_probe_single_set(self):
+        cache = make_cache()
+        cache.fill(make_entry(0x1000))
+        # Probing the NEXT line should not remove the entry.
+        assert cache.invalidate_icache_line(0x1040) == 0
+        assert cache.lookup(0x1000) is not None
+
+    def test_invariants_after_invalidate(self):
+        cache = UopCache(small_oc_config(clasp=True))
+        for i in range(12):
+            cache.fill(make_entry(0x1000 + i * 64, num_insts=2))
+        cache.invalidate_icache_line(0x1040)
+        cache.check_invariants()
+
+
+class TestInvariants:
+    def test_fresh_cache_consistent(self):
+        make_cache().check_invariants()
+
+    def test_after_heavy_fill_traffic(self):
+        cache = make_cache()
+        for i in range(100):
+            cache.fill(make_entry(0x1000 + i * 48, num_insts=2))
+        cache.check_invariants()

@@ -1,0 +1,207 @@
+"""Unit tests for the compaction fill policies (RAC / PWAC / F-PWAC)."""
+
+import pytest
+
+from repro.common.config import CompactionPolicy, UopCacheConfig
+from repro.uopcache.cache import FillKind, UopCache
+
+from helpers import make_entry, small_oc_config
+
+
+def compacting_cache(policy, max_entries=2, **kwargs):
+    return UopCache(small_oc_config(
+        compaction=policy, max_entries_per_line=max_entries, **kwargs))
+
+
+def small(start_pc, pw_id=None):
+    """A small (2-uop, 14B) entry: two of these fit in one 62B line."""
+    return make_entry(start_pc, num_insts=2, pw_id=pw_id)
+
+
+def large(start_pc, pw_id=None):
+    """A 8-uop (56B) entry: nothing else fits beside it."""
+    return make_entry(start_pc, num_insts=4, uops_per_inst=2, pw_id=pw_id)
+
+
+class TestRac:
+    def test_second_small_entry_compacts(self):
+        cache = compacting_cache(CompactionPolicy.RAC)
+        stride = 64 * cache.config.num_sets
+        cache.fill(small(0x1000))
+        result = cache.fill(small(0x1000 + stride))
+        assert result.kind is FillKind.RAC
+        assert cache.resident_entries() == 2
+        # Both resident in the same line.
+        assert cache.compacted_line_fraction() > 0
+
+    def test_large_entries_never_compact(self):
+        cache = compacting_cache(CompactionPolicy.RAC)
+        stride = 64 * cache.config.num_sets
+        cache.fill(large(0x1000))
+        result = cache.fill(large(0x1000 + stride))
+        assert result.kind is FillKind.ALLOC
+
+    def test_max_entries_per_line_respected(self):
+        cache = compacting_cache(CompactionPolicy.RAC, max_entries=2)
+        stride = 64 * cache.config.num_sets
+        tiny = [make_entry(0x1000 + i * stride, num_insts=1) for i in range(3)]
+        cache.fill(tiny[0])
+        cache.fill(tiny[1])
+        result = cache.fill(tiny[2])
+        # Third tiny entry fits byte-wise but exceeds the per-line entry cap:
+        # it must go somewhere else.
+        assert result.kind in (FillKind.ALLOC, FillKind.RAC)
+        cache.check_invariants()
+
+    def test_max_three_entries(self):
+        cache = compacting_cache(CompactionPolicy.RAC, max_entries=3)
+        stride = 64 * cache.config.num_sets
+        for i in range(3):
+            result = cache.fill(make_entry(0x1000 + i * stride, num_insts=1))
+        assert result.kind is FillKind.RAC
+        assert cache.resident_entries() == 3
+        cache.check_invariants()
+
+    def test_compaction_targets_mru_line(self):
+        cache = compacting_cache(CompactionPolicy.RAC)
+        stride = 64 * cache.config.num_sets
+        a = small(0x1000)
+        b = small(0x1000 + stride)
+        cache.fill(a)          # way 0
+        cache.fill(b)          # compacts with a (MRU)
+        # Evict-free lookup on a line keeps it MRU; new fill joins it if room.
+        cache.check_invariants()
+
+    def test_no_cross_set_compaction(self):
+        cache = compacting_cache(CompactionPolicy.RAC)
+        cache.fill(small(0x1000))
+        result = cache.fill(small(0x1040))    # different set
+        assert result.kind is FillKind.ALLOC
+        cache.check_invariants()
+
+
+class TestPwac:
+    def test_same_pw_entries_share_line(self):
+        cache = compacting_cache(CompactionPolicy.PWAC)
+        stride = 64 * cache.config.num_sets
+        pw = 0xAA00
+        cache.fill(small(0x1000, pw_id=pw))
+        # A foreign small entry compacts via RAC into the same (MRU) line.
+        # Then the same-PW buddy arrives: the line is full (2 entries max).
+        result = cache.fill(small(0x1000 + stride, pw_id=pw))
+        assert result.kind is FillKind.PWAC
+
+    def test_falls_back_to_rac(self):
+        cache = compacting_cache(CompactionPolicy.PWAC)
+        stride = 64 * cache.config.num_sets
+        cache.fill(small(0x1000, pw_id=0x1))
+        result = cache.fill(small(0x1000 + stride, pw_id=0x2))
+        assert result.kind is FillKind.RAC
+
+    def test_falls_back_to_alloc(self):
+        cache = compacting_cache(CompactionPolicy.PWAC)
+        stride = 64 * cache.config.num_sets
+        cache.fill(large(0x1000, pw_id=0x1))
+        result = cache.fill(large(0x1000 + stride, pw_id=0x2))
+        assert result.kind is FillKind.ALLOC
+
+
+class TestForcedPwac:
+    def _setup_forced_scenario(self, cache):
+        """Line holds [PWA, PWB1]; then PWB2 arrives (Fig. 14)."""
+        stride = 64 * cache.config.num_sets
+        pwa = small(0x1000, pw_id=0xA)
+        pwb1 = small(0x1000 + stride, pw_id=0xB)
+        pwb2 = small(0x1000 + 2 * stride, pw_id=0xB)
+        cache.fill(pwa)
+        assert cache.fill(pwb1).kind is FillKind.RAC   # compacted with PWA
+        return pwa, pwb1, pwb2
+
+    def test_forced_merge(self):
+        cache = compacting_cache(CompactionPolicy.F_PWAC)
+        pwa, pwb1, pwb2 = self._setup_forced_scenario(cache)
+        result = cache.fill(pwb2)
+        assert result.kind is FillKind.F_PWAC
+        # All three entries still resident: PWB1+PWB2 together, PWA moved.
+        assert cache.lookup(pwa.start_pc) is pwa
+        assert cache.lookup(pwb1.start_pc) is pwb1
+        assert cache.lookup(pwb2.start_pc) is pwb2
+        cache.check_invariants()
+
+    def test_forced_merge_groups_same_pw(self):
+        cache = compacting_cache(CompactionPolicy.F_PWAC)
+        pwa, pwb1, pwb2 = self._setup_forced_scenario(cache)
+        cache.fill(pwb2)
+        set_index = cache.set_index(pwb1.start_pc)
+        way_b1 = cache._index[set_index][pwb1.start_pc]
+        way_b2 = cache._index[set_index][pwb2.start_pc]
+        way_a = cache._index[set_index][pwa.start_pc]
+        assert way_b1 == way_b2
+        assert way_a != way_b1
+
+    def test_pwac_without_force_cannot_merge(self):
+        cache = compacting_cache(CompactionPolicy.PWAC)
+        pwa, pwb1, pwb2 = self._setup_forced_scenario(cache)
+        result = cache.fill(pwb2)
+        assert result.kind is not FillKind.F_PWAC
+
+    def test_forced_merge_impossible_when_too_big(self):
+        cache = compacting_cache(CompactionPolicy.F_PWAC)
+        stride = 64 * cache.config.num_sets
+        pwa = small(0x1000, pw_id=0xA)
+        pwb1 = make_entry(0x1000 + stride, num_insts=3, pw_id=0xB)
+        cache.fill(pwa)
+        cache.fill(pwb1)
+        # PWB2 so large that PWB1+PWB2 exceed a line: forced merge impossible.
+        pwb2 = large(0x1000 + 2 * stride, pw_id=0xB)
+        result = cache.fill(pwb2)
+        assert result.kind in (FillKind.ALLOC, FillKind.RAC)
+        cache.check_invariants()
+
+    def test_forced_merge_evicts_lru(self):
+        cache = compacting_cache(CompactionPolicy.F_PWAC)
+        stride = 64 * cache.config.num_sets
+        pwa = small(0x1000, pw_id=0xA)
+        pwb1 = small(0x1000 + stride, pw_id=0xB)
+        filler = large(0x1000 + 3 * stride, pw_id=0xC)
+        cache.fill(pwa)
+        cache.fill(pwb1)        # [PWA,PWB1] in way0
+        cache.fill(filler)      # way1
+        pwb2 = small(0x1000 + 2 * stride, pw_id=0xB)
+        result = cache.fill(pwb2)
+        assert result.kind is FillKind.F_PWAC
+        # The LRU line (filler's) was evicted to make room for PWA.
+        assert filler in result.evicted
+        cache.check_invariants()
+
+
+class TestCompactionAccounting:
+    def test_compacted_fill_fraction(self):
+        cache = compacting_cache(CompactionPolicy.RAC)
+        stride = 64 * cache.config.num_sets
+        cache.fill(small(0x1000))
+        cache.fill(small(0x1000 + stride))
+        assert cache.compacted_fill_fraction == pytest.approx(0.5)
+
+    def test_baseline_never_compacts(self):
+        cache = UopCache(small_oc_config())
+        stride = 64 * cache.config.num_sets
+        cache.fill(small(0x1000))
+        result = cache.fill(small(0x1000 + stride))
+        assert result.kind is FillKind.ALLOC
+        assert cache.compacted_fill_fraction == 0.0
+
+    def test_whole_line_evicted_as_unit(self):
+        """Victim selection evicts every entry in the line (Section V-B)."""
+        cache = compacting_cache(CompactionPolicy.RAC)
+        stride = 64 * cache.config.num_sets
+        a = small(0x1000)
+        b = small(0x1000 + stride)
+        cache.fill(a)
+        cache.fill(b)                       # same line as a
+        big1 = large(0x1000 + 3 * stride)
+        big2 = large(0x1000 + 4 * stride)
+        cache.fill(big1)                    # second way
+        result = cache.fill(big2)           # must evict the [a, b] line (LRU)
+        assert set(result.evicted) == {a, b}
+        cache.check_invariants()

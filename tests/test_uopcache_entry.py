@@ -1,0 +1,134 @@
+"""Unit tests for uop cache entries and the per-entry limit checks."""
+
+import pytest
+
+from repro.common.config import UopCacheConfig
+from repro.common.errors import CacheError
+from repro.uopcache.entry import EntryBuilder, EntryTermination, UopCacheEntry
+
+from helpers import make_entry, make_uops
+
+
+CFG = UopCacheConfig()
+
+
+class TestEntryProperties:
+    def test_counts(self):
+        entry = make_entry(0x1000, num_insts=3, uops_per_inst=2)
+        assert entry.num_uops == 6
+        assert entry.num_instructions == 3
+        assert entry.end_pc == 0x100C
+
+    def test_imm_count(self):
+        entry = make_entry(0x1000, num_insts=2, imm_per_inst=1)
+        assert entry.num_imm_disp == 2
+
+    def test_size_bytes(self):
+        entry = make_entry(0x1000, num_insts=2, uops_per_inst=2,
+                           imm_per_inst=1)
+        # 4 uops x 7B + 2 imm x 4B
+        assert entry.size_bytes(CFG) == 4 * 7 + 2 * 4
+
+    def test_icache_lines_single(self):
+        entry = make_entry(0x1000, num_insts=2)
+        assert entry.icache_lines(64) == (0x1000,)
+        assert not entry.spans_icache_lines(64)
+
+    def test_icache_lines_spanning(self):
+        entry = make_entry(0x1038, num_insts=4, inst_length=4)
+        # starts at 0x1038, instructions at 0x1038..0x1044
+        assert entry.icache_lines(64) == (0x1000, 0x1040)
+        assert entry.spans_icache_lines(64)
+
+    def test_covers_address(self):
+        entry = make_entry(0x1000, num_insts=2, inst_length=4)
+        assert entry.covers_address(0x1004)
+        assert not entry.covers_address(0x1002)
+
+    def test_overlaps_line(self):
+        entry = make_entry(0x1000, num_insts=2)
+        assert entry.overlaps_line(0x1010)
+        assert not entry.overlaps_line(0x1040)
+
+    def test_ucoded_inst_count(self):
+        uops = make_uops(0x1000, count=4, micro=True) + \
+            make_uops(0x1004, count=4, micro=True)
+        entry = UopCacheEntry(start_pc=0x1000, pw_id=0x1000, uops=uops,
+                              end_pc=0x1008)
+        assert entry.num_ucoded_insts == 2
+
+    def test_entry_ids_unique(self):
+        a = make_entry(0x1000)
+        b = make_entry(0x1000)
+        assert a.entry_id != b.entry_id
+
+
+class TestEntryBuilder:
+    def test_empty_builder(self):
+        builder = EntryBuilder(CFG, start_pc=0x1000, pw_id=0x1000)
+        assert builder.empty
+        assert builder.end_pc == 0x1000
+
+    def test_add_and_seal(self):
+        builder = EntryBuilder(CFG, start_pc=0x1000, pw_id=0x1000)
+        builder.add_instruction(make_uops(0x1000, 2))
+        entry = builder.seal(EntryTermination.TAKEN_BRANCH)
+        assert entry.num_uops == 2
+        assert entry.termination is EntryTermination.TAKEN_BRANCH
+        assert entry.end_pc == 0x1004
+
+    def test_seal_empty_raises(self):
+        builder = EntryBuilder(CFG, start_pc=0x1000, pw_id=0x1000)
+        with pytest.raises(CacheError):
+            builder.seal(EntryTermination.PW_END)
+
+    def test_max_uops_limit(self):
+        builder = EntryBuilder(CFG, start_pc=0x1000, pw_id=0x1000)
+        for i in range(4):
+            builder.add_instruction(make_uops(0x1000 + 4 * i, 2))
+        violation = builder.instruction_fits(make_uops(0x1010, 1))
+        assert violation is EntryTermination.MAX_UOPS
+
+    def test_max_imm_limit(self):
+        builder = EntryBuilder(CFG, start_pc=0x1000, pw_id=0x1000)
+        for i in range(4):
+            builder.add_instruction(make_uops(0x1000 + 4 * i, 1, imm=1))
+        violation = builder.instruction_fits(make_uops(0x1010, 1, imm=1))
+        assert violation is EntryTermination.MAX_IMM_DISP
+
+    def test_max_ucode_limit(self):
+        cfg = UopCacheConfig(max_ucoded_per_entry=1, max_uops_per_entry=16,
+                             line_bytes=256)
+        builder = EntryBuilder(cfg, start_pc=0x1000, pw_id=0x1000)
+        builder.add_instruction(make_uops(0x1000, 2, micro=True))
+        violation = builder.instruction_fits(make_uops(0x1004, 2, micro=True))
+        assert violation is EntryTermination.MAX_UCODE
+
+    def test_line_full_limit(self):
+        # 7 uops + 4 imms: 49 + 16 = 65 > 62 usable -> LINE_FULL before
+        # MAX_UOPS/MAX_IMM.
+        builder = EntryBuilder(CFG, start_pc=0x1000, pw_id=0x1000)
+        for i in range(3):
+            builder.add_instruction(make_uops(0x1000 + 4 * i, 2, imm=1))
+        violation = builder.instruction_fits(make_uops(0x100C, 1, imm=1))
+        assert violation is EntryTermination.LINE_FULL
+
+    def test_add_violating_instruction_raises(self):
+        builder = EntryBuilder(CFG, start_pc=0x1000, pw_id=0x1000)
+        for i in range(4):
+            builder.add_instruction(make_uops(0x1000 + 4 * i, 2))
+        with pytest.raises(CacheError):
+            builder.add_instruction(make_uops(0x1010, 1))
+
+    def test_add_empty_instruction_raises(self):
+        builder = EntryBuilder(CFG, start_pc=0x1000, pw_id=0x1000)
+        with pytest.raises(CacheError):
+            builder.add_instruction(())
+
+    def test_whole_instruction_atomicity(self):
+        """An instruction's uops all land in one entry or none do."""
+        builder = EntryBuilder(CFG, start_pc=0x1000, pw_id=0x1000)
+        builder.add_instruction(make_uops(0x1000, 7))
+        # 2-uop instruction does not fit (7 + 2 > 8) even though one uop would.
+        assert builder.instruction_fits(make_uops(0x1004, 2)) is not None
+        assert builder.instruction_fits(make_uops(0x1004, 1)) is None

@@ -1,0 +1,70 @@
+"""Tests for warmup (measured-region) support in the simulator."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.core.simulator import simulate
+from repro.workloads.generator import WorkloadProfile, generate_workload
+
+PROFILE = WorkloadProfile(name="warm-test", num_functions=24,
+                          blocks_per_function=(3, 7), insts_per_block=(1, 6))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_workload(PROFILE, seed=6).trace(20_000, seed=7)
+
+
+def warm_config(warmup, capacity=2048):
+    return dataclasses.replace(baseline_config(capacity),
+                               warmup_instructions=warmup)
+
+
+class TestWarmup:
+    def test_measured_instructions_exclude_warmup(self, trace):
+        result = simulate(trace, warm_config(5000), "w")
+        # The snapshot lands at a fetch-chunk boundary at or after the
+        # warmup mark, so measured <= total - warmup.
+        assert result.instructions <= len(trace) - 5000
+        assert result.instructions >= len(trace) - 5000 - 64
+
+    def test_zero_warmup_measures_everything(self, trace):
+        result = simulate(trace, warm_config(0), "w")
+        assert result.instructions == len(trace)
+
+    def test_uop_conservation_in_measured_region(self, trace):
+        result = simulate(trace, warm_config(5000), "w")
+        assert result.uops == (result.uops_from_uop_cache +
+                               result.uops_from_decoder +
+                               result.uops_from_loop_cache)
+
+    def test_warmup_removes_cold_start_mpki(self, trace):
+        cold = simulate(trace, warm_config(0), "cold")
+        warm = simulate(trace, warm_config(8000), "warm")
+        assert warm.branch_mpki <= cold.branch_mpki
+
+    def test_warmup_improves_hit_rate(self, trace):
+        cold = simulate(trace, warm_config(0), "cold")
+        warm = simulate(trace, warm_config(8000), "warm")
+        assert warm.oc_fetch_ratio >= cold.oc_fetch_ratio - 0.01
+
+    def test_cycles_positive(self, trace):
+        result = simulate(trace, warm_config(5000), "w")
+        assert result.cycles > 0
+        assert result.upc > 0
+
+    def test_warmup_beyond_trace_measures_nothing_bad(self, trace):
+        """Warmup longer than the trace: snapshot never fires, everything
+        is measured (graceful degradation)."""
+        result = simulate(trace, warm_config(10 ** 9), "w")
+        assert result.instructions == len(trace)
+
+    def test_decoder_power_is_measured_region_only(self, trace):
+        cold = simulate(trace, warm_config(0), "cold")
+        warm = simulate(trace, warm_config(8000), "warm")
+        # Cold-start decodes everything once; the measured region should
+        # show less decoder activity per cycle.
+        assert warm.decoder_report.insts_decoded <= \
+            cold.decoder_report.insts_decoded

@@ -1,0 +1,129 @@
+"""Unit tests for prediction-window construction."""
+
+import pytest
+
+from repro.branch.window import PredictionWindowBuilder, PwTermination
+from repro.common.config import BranchPredictorConfig
+from repro.isa.instruction import BranchKind, InstClass, X86Instruction
+from repro.workloads.program import BasicBlock, Function, Program
+from repro.workloads.trace import DynamicInst, Trace
+
+
+def build(insts, records):
+    program = Program([Function(name="f", blocks=[
+        BasicBlock(instructions=list(insts))])])
+    return Trace(program, records)
+
+
+def alu(addr, length=4):
+    return X86Instruction(address=addr, length=length,
+                          inst_class=InstClass.ALU, uop_count=1)
+
+
+def cond(addr, target, length=2):
+    return X86Instruction(address=addr, length=length,
+                          inst_class=InstClass.BRANCH, uop_count=1,
+                          branch_kind=BranchKind.CONDITIONAL,
+                          branch_target=target)
+
+
+class TestLineEnd:
+    def test_pw_terminates_at_line_boundary(self):
+        # 20 x 4-byte ALUs from 0x1000: line boundary at 0x1040.
+        insts = [alu(0x1000 + 4 * i) for i in range(20)]
+        records = [DynamicInst(pc=i.address, next_pc=i.end_address,
+                               mem_addr=None) for i in insts]
+        trace = build(insts, records)
+        windows = PredictionWindowBuilder(trace).all_windows()
+        assert windows[0].termination is PwTermination.LINE_END
+        assert windows[0].start_pc == 0x1000
+        assert windows[0].end_pc == 0x1040        # 16 insts of 4 bytes
+        assert windows[0].num_instructions == 16
+        assert windows[1].start_pc == 0x1040
+
+    def test_pw_id_is_start_address(self):
+        insts = [alu(0x1000 + 4 * i) for i in range(4)]
+        records = [DynamicInst(pc=i.address, next_pc=i.end_address,
+                               mem_addr=None) for i in insts]
+        windows = PredictionWindowBuilder(build(insts, records)).all_windows()
+        assert windows[0].pw_id == 0x1000
+
+
+class TestTakenBranch:
+    def test_taken_branch_ends_pw(self):
+        insts = [alu(0x1000), cond(0x1004, 0x1010), alu(0x1010), alu(0x1014)]
+        records = [
+            DynamicInst(pc=0x1000, next_pc=0x1004, mem_addr=None),
+            DynamicInst(pc=0x1004, next_pc=0x1010, mem_addr=None),  # taken
+            DynamicInst(pc=0x1010, next_pc=0x1014, mem_addr=None),
+            DynamicInst(pc=0x1014, next_pc=0x1018, mem_addr=None),
+        ]
+        windows = PredictionWindowBuilder(build(insts, records)).all_windows()
+        assert windows[0].termination is PwTermination.TAKEN_BRANCH
+        assert windows[0].num_instructions == 2
+        assert windows[0].next_pc == 0x1010
+        assert windows[1].start_pc == 0x1010
+
+    def test_not_taken_branch_does_not_end_pw(self):
+        insts = [alu(0x1000), cond(0x1004, 0x1030), alu(0x1006)]
+        records = [
+            DynamicInst(pc=0x1000, next_pc=0x1004, mem_addr=None),
+            DynamicInst(pc=0x1004, next_pc=0x1006, mem_addr=None),  # NT
+            DynamicInst(pc=0x1006, next_pc=0x100A, mem_addr=None),
+        ]
+        windows = PredictionWindowBuilder(build(insts, records)).all_windows()
+        assert windows[0].num_instructions == 3
+
+
+class TestMaxNotTaken:
+    def test_max_not_taken_ends_pw(self):
+        config = BranchPredictorConfig(max_not_taken_branches_per_pw=2)
+        insts = [cond(0x1000, 0x1030), cond(0x1002, 0x1030),
+                 cond(0x1004, 0x1030), alu(0x1006)]
+        records = [
+            DynamicInst(pc=0x1000, next_pc=0x1002, mem_addr=None),
+            DynamicInst(pc=0x1002, next_pc=0x1004, mem_addr=None),
+            DynamicInst(pc=0x1004, next_pc=0x1006, mem_addr=None),
+            DynamicInst(pc=0x1006, next_pc=0x100A, mem_addr=None),
+        ]
+        windows = PredictionWindowBuilder(
+            build(insts, records), config=config).all_windows()
+        assert windows[0].termination is PwTermination.MAX_NOT_TAKEN
+        assert windows[0].num_instructions == 2
+        assert windows[1].start_pc == 0x1004
+
+
+class TestCoverage:
+    def test_windows_cover_trace_exactly(self):
+        insts = [alu(0x1000 + 4 * i) for i in range(32)]
+        records = [DynamicInst(pc=i.address, next_pc=i.end_address,
+                               mem_addr=None) for i in insts]
+        windows = PredictionWindowBuilder(build(insts, records)).all_windows()
+        covered = []
+        for window in windows:
+            covered.extend(window.record_indices())
+        assert covered == list(range(len(records)))
+
+    def test_windows_contiguous(self):
+        insts = [alu(0x1000 + 4 * i) for i in range(32)]
+        records = [DynamicInst(pc=i.address, next_pc=i.end_address,
+                               mem_addr=None) for i in insts]
+        windows = PredictionWindowBuilder(build(insts, records)).all_windows()
+        for a, b in zip(windows, windows[1:]):
+            assert b.first == a.last + 1
+
+    def test_last_window_trace_end(self):
+        insts = [alu(0x1000)]
+        records = [DynamicInst(pc=0x1000, next_pc=0x1004, mem_addr=None)]
+        windows = PredictionWindowBuilder(build(insts, records)).all_windows()
+        assert windows[-1].termination is PwTermination.TRACE_END
+
+    def test_mid_line_start(self):
+        """A PW starting mid-line still ends at that line's boundary."""
+        insts = [alu(0x1020 + 4 * i) for i in range(12)]
+        records = [DynamicInst(pc=i.address, next_pc=i.end_address,
+                               mem_addr=None) for i in insts]
+        windows = PredictionWindowBuilder(build(insts, records)).all_windows()
+        assert windows[0].start_pc == 0x1020
+        assert windows[0].end_pc == 0x1040
+        assert windows[0].num_instructions == 8

@@ -1,0 +1,81 @@
+"""PW construction with instructions that straddle the I-cache line boundary,
+and multi-entry PW dispatch timing."""
+
+import pytest
+
+from repro.branch.window import PredictionWindowBuilder, PwTermination
+from repro.common.config import baseline_config
+from repro.core.simulator import Simulator
+from repro.isa.instruction import BranchKind, InstClass, X86Instruction
+from repro.workloads.program import BasicBlock, Function, Program
+from repro.workloads.trace import DynamicInst, Trace
+
+
+def make_trace(insts, iterations=1):
+    program = Program([Function(name="f", blocks=[
+        BasicBlock(instructions=list(insts))])])
+    records = []
+    ordered = sorted(insts, key=lambda i: i.address)
+    for _ in range(iterations):
+        for inst in ordered:
+            next_pc = inst.branch_target if (
+                inst.is_branch and inst.branch_target is not None) else \
+                inst.end_address
+            records.append(DynamicInst(pc=inst.address, next_pc=next_pc,
+                                       mem_addr=None))
+    return Trace(program, records)
+
+
+class TestStraddlingInstructions:
+    def test_straddler_belongs_to_start_line(self):
+        """An instruction whose bytes cross the boundary ends the PW of the
+        line containing its first byte."""
+        insts = [
+            X86Instruction(address=0x1038, length=4,
+                           inst_class=InstClass.ALU, uop_count=1),
+            X86Instruction(address=0x103C, length=8,   # crosses into 0x1040
+                           inst_class=InstClass.ALU, uop_count=1),
+            X86Instruction(address=0x1044, length=4,
+                           inst_class=InstClass.ALU, uop_count=1),
+        ]
+        trace = make_trace(insts)
+        windows = PredictionWindowBuilder(trace).all_windows()
+        assert windows[0].num_instructions == 2
+        assert windows[0].termination is PwTermination.LINE_END
+        assert windows[1].start_pc == 0x1044
+
+    def test_simulator_fetches_both_lines_for_straddler(self):
+        insts = [
+            X86Instruction(address=0x103C, length=8,
+                           inst_class=InstClass.ALU, uop_count=1),
+            X86Instruction(address=0x1044, length=4,
+                           inst_class=InstClass.ALU, uop_count=1),
+        ]
+        trace = make_trace(insts)
+        sim = Simulator(trace, baseline_config(2048), "straddle")
+        sim.run()
+        # Both lines were touched on the instruction side.
+        assert sim.hierarchy.l1i.contains(0x1000)
+        assert sim.hierarchy.l1i.contains(0x1040)
+
+
+class TestMultiEntryPwDispatch:
+    def test_pw_spanning_two_entries_needs_two_oc_cycles(self):
+        """A 12-uop PW exceeds the 8-uop entry limit: on the uop cache path
+        it dispatches as two entries in consecutive cycles (Section II-B3)."""
+        insts = [X86Instruction(address=0x1000 + i * 2, length=2,
+                                inst_class=InstClass.ALU, uop_count=1)
+                 for i in range(12)]
+        jump = X86Instruction(address=0x1018, length=2,
+                              inst_class=InstClass.BRANCH, uop_count=1,
+                              branch_kind=BranchKind.UNCONDITIONAL,
+                              branch_target=0x1000)
+        trace = make_trace(insts + [jump], iterations=30)
+        sim = Simulator(trace, baseline_config(2048), "2entry")
+        result = sim.run()
+        # Steady state: each 13-inst iteration = 2 OC entry dispatches.
+        hits_per_iteration = result.uop_cache_hits / 30
+        assert 1.8 <= hits_per_iteration <= 2.2
+        # Fig. 12 bookkeeping sees multi-entry PWs.
+        hist = result.entries_per_pw_histogram
+        assert hist.fraction_in(2, 9) > 0.3

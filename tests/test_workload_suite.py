@@ -1,0 +1,98 @@
+"""Suite-level tests: every Table II workload generates, walks and behaves."""
+
+import pytest
+
+from repro.workloads.suite import (
+    PAPER_BRANCH_MPKI,
+    SUITE_GROUPS,
+    WORKLOAD_NAMES,
+    WORKLOAD_PROFILES,
+    clear_workload_cache,
+    get_profile,
+    get_workload,
+)
+from repro.common.errors import WorkloadError
+
+
+class TestRegistry:
+    def test_thirteen_workloads(self):
+        assert len(WORKLOAD_NAMES) == 13
+
+    def test_groups_partition_suite(self):
+        grouped = [name for names in SUITE_GROUPS.values() for name in names]
+        assert sorted(grouped) == sorted(WORKLOAD_NAMES)
+
+    def test_paper_mpki_covers_all(self):
+        assert set(PAPER_BRANCH_MPKI) == set(WORKLOAD_NAMES)
+
+    def test_get_profile_known(self):
+        assert get_profile("bm-cc").name == "bm-cc"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_profile("bm-missing")
+
+    def test_profiles_self_name(self):
+        for name, profile in WORKLOAD_PROFILES.items():
+            assert profile.name == name
+
+
+class TestWorkloadCache:
+    def test_memoised(self):
+        clear_workload_cache()
+        a = get_workload("bm-x64")
+        b = get_workload("bm-x64")
+        assert a is b
+
+    def test_uncached_builds_fresh(self):
+        a = get_workload("bm-x64")
+        b = get_workload("bm-x64", cache=False)
+        assert a is not b
+
+    def test_seed_distinguishes(self):
+        a = get_workload("bm-x64", seed=1)
+        b = get_workload("bm-x64", seed=2)
+        assert a is not b
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestEveryWorkload:
+    def test_generates_and_walks(self, name):
+        workload = get_workload(name)
+        trace = workload.trace(1500, seed=3)
+        trace.validate()
+        assert len(trace) == 1500
+
+    def test_nontrivial_static_image(self, name):
+        program = get_workload(name).program
+        assert program.num_instructions > 500
+        assert program.num_static_uops > program.num_instructions
+
+    def test_has_branch_variety(self, name):
+        trace = get_workload(name).trace(3000, seed=5)
+        stats = trace.branch_stats()
+        assert stats.branches > 0
+        assert 0 < stats.taken_branches <= stats.branches
+        assert 0.02 < stats.branch_density < 0.5
+
+
+class TestSuiteCharacter:
+    """Coarse identity checks: the suite keeps the paper's grouping."""
+
+    def test_x264_has_smallest_footprint(self):
+        footprints = {name: get_workload(name).program.num_static_uops
+                      for name in WORKLOAD_NAMES}
+        assert min(footprints, key=footprints.get) == "bm-x64"
+
+    def test_gcc_among_largest_footprints(self):
+        footprints = {name: get_workload(name).program.num_static_uops
+                      for name in WORKLOAD_NAMES}
+        ranked = sorted(footprints, key=footprints.get, reverse=True)
+        assert "bm-cc" in ranked[:3]
+
+    def test_hard_branch_ordering_follows_paper(self):
+        """Profiles targeting high paper MPKI use more hard branches than
+        the most predictable ones."""
+        hardest = WORKLOAD_PROFILES["bm-z"].hard_branch_fraction
+        easiest = WORKLOAD_PROFILES["redis"].hard_branch_fraction
+        assert hardest > easiest
