@@ -28,6 +28,7 @@ from .core.experiment import (
 from .core.metrics import SimulationResult
 from .core.simulator import Simulator, simulate
 from .core.smt import SmtSimulator, simulate_smt
+from .runner import FaultPlan, RunnerConfig, SweepJob, SweepReport, SweepRunner
 from .workloads.generator import Workload, WorkloadProfile, generate_workload
 from .workloads.suite import WORKLOAD_NAMES, get_workload
 
@@ -35,10 +36,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CompactionPolicy",
+    "FaultPlan",
+    "RunnerConfig",
     "SimulationResult",
     "Simulator",
     "SimulatorConfig",
     "SmtSimulator",
+    "SweepJob",
+    "SweepReport",
+    "SweepRunner",
     "WORKLOAD_NAMES",
     "Workload",
     "WorkloadProfile",

@@ -24,6 +24,7 @@ from .analysis.tables import render_table, render_table1, render_table2
 from .common.config import SimulatorConfig
 from .core.experiment import (
     CAPACITY_SWEEP,
+    DEFAULT_SEED,
     POLICY_LABELS,
     policy_config,
     run_capacity_sweep,
@@ -31,6 +32,7 @@ from .core.experiment import (
     workload_trace,
 )
 from .core.simulator import Simulator
+from .runner.executor import RunnerConfig
 from .core.smt import simulate_smt
 from .workloads.suite import (
     PAPER_BRANCH_MPKI,
@@ -57,10 +59,49 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="warmup instructions excluded from metrics")
     parser.add_argument("--max-entries", type=int, default=2,
                         help="max compacted entries per line (default: 2)")
+    _add_seed(parser)
+
+
+def _add_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"trace generation seed (default: {DEFAULT_SEED})")
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: 1 = serial)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job timeout in seconds "
+                             "(enforced when --jobs > 1)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retries per failing job before quarantine "
+                             "(default: 2)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="journal completed jobs here (crash-safe)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the checkpoint journal, "
+                             "re-running only missing jobs")
+
+
+def _runner_from_args(args) -> RunnerConfig:
+    return RunnerConfig(jobs=args.jobs, timeout_seconds=args.timeout,
+                        retries=args.retries,
+                        checkpoint_dir=args.checkpoint_dir,
+                        resume=args.resume)
+
+
+def _finish_sweep(sweep) -> int:
+    """Print the runner's failure report; exit nonzero on quarantined jobs."""
+    report = sweep.report
+    if report is None:
+        return 0
+    if report.resumed or report.retried or report.quarantined:
+        print(report.describe(), file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_run(args) -> int:
-    trace = workload_trace(args.workload, args.instructions)
+    trace = workload_trace(args.workload, args.instructions, seed=args.seed)
     config = _build_config(args)
     result = Simulator(trace, config, args.design).run()
     baseline = None
@@ -74,7 +115,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_smt(args) -> int:
-    traces = [workload_trace(name, args.instructions)
+    traces = [workload_trace(name, args.instructions, seed=args.seed)
               for name in args.workloads]
     config = _build_config(args)
     result = simulate_smt(traces, config, args.design)
@@ -104,19 +145,23 @@ def _cmd_sweep_capacity(args) -> int:
         workloads=workloads, capacities=CAPACITY_SWEEP,
         num_instructions=args.instructions,
         warmup_instructions=args.warmup,
+        seed=args.seed, runner=_runner_from_args(args),
         progress=(lambda line: print("  " + line, file=sys.stderr))
         if args.verbose else None)
-    print(render_table(sweep.normalized(lambda r: r.upc, "OC_2K"),
-                       title="UPC normalized to 2K"))
+    print(render_table(
+        sweep.normalized(lambda r: r.upc, "OC_2K", skip_missing=True),
+        title="UPC normalized to 2K"))
     print()
     print(render_table(
-        sweep.normalized(lambda r: r.decoder_power, "OC_2K"),
+        sweep.normalized(lambda r: r.decoder_power, "OC_2K",
+                         skip_missing=True),
         title="Decoder power normalized to 2K"))
     print()
     print(render_table(
-        sweep.normalized(lambda r: r.oc_fetch_ratio, "OC_2K"),
+        sweep.normalized(lambda r: r.oc_fetch_ratio, "OC_2K",
+                         skip_missing=True),
         title="OC fetch ratio normalized to 2K"))
-    return 0
+    return _finish_sweep(sweep)
 
 
 def _cmd_sweep_policy(args) -> int:
@@ -126,14 +171,16 @@ def _cmd_sweep_policy(args) -> int:
         max_entries_per_line=args.max_entries,
         num_instructions=args.instructions,
         warmup_instructions=args.warmup,
+        seed=args.seed, runner=_runner_from_args(args),
         progress=(lambda line: print("  " + line, file=sys.stderr))
         if args.verbose else None)
-    improvement = sweep.improvement_percent(lambda r: r.upc, "baseline")
+    improvement = sweep.improvement_percent(lambda r: r.upc, "baseline",
+                                            skip_missing=True)
     print(render_table(improvement, title="% UPC improvement over baseline",
                        fmt="{:+.2f}", column_order=list(POLICY_LABELS)))
     print()
     normalized_fetch = sweep.normalized(
-        lambda r: r.oc_fetch_ratio, "baseline")
+        lambda r: r.oc_fetch_ratio, "baseline", skip_missing=True)
     if args.chart:
         print(render_grouped_bars(
             normalized_fetch, title="OC fetch ratio normalized to baseline",
@@ -142,7 +189,7 @@ def _cmd_sweep_policy(args) -> int:
         print(render_table(
             normalized_fetch, title="OC fetch ratio normalized to baseline",
             column_order=list(POLICY_LABELS)))
-    return 0
+    return _finish_sweep(sweep)
 
 
 def _cmd_table1(args) -> int:
@@ -156,7 +203,7 @@ def _cmd_table2(args) -> int:
     if args.measure:
         measured = {}
         for name in WORKLOAD_NAMES:
-            trace = workload_trace(name, args.instructions)
+            trace = workload_trace(name, args.instructions, seed=args.seed)
             config = policy_config("baseline", 2048)
             measured[name] = Simulator(trace, config, "b").run().branch_mpki
     print(render_table2(measured))
@@ -199,6 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
     capacity_parser.add_argument("--instructions", type=int, default=100_000)
     capacity_parser.add_argument("--warmup", type=int, default=20_000)
     capacity_parser.add_argument("--verbose", action="store_true")
+    _add_seed(capacity_parser)
+    _add_runner_flags(capacity_parser)
     capacity_parser.set_defaults(func=_cmd_sweep_capacity)
 
     policy_parser = commands.add_parser(
@@ -212,6 +261,8 @@ def build_parser() -> argparse.ArgumentParser:
     policy_parser.add_argument("--verbose", action="store_true")
     policy_parser.add_argument("--chart", action="store_true",
                                help="render bars instead of a table")
+    _add_seed(policy_parser)
+    _add_runner_flags(policy_parser)
     policy_parser.set_defaults(func=_cmd_sweep_policy)
 
     table1_parser = commands.add_parser(
@@ -226,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     table2_parser.add_argument("--measure", action="store_true",
                                help="also measure branch MPKI (slow)")
     table2_parser.add_argument("--instructions", type=int, default=50_000)
+    _add_seed(table2_parser)
     table2_parser.set_defaults(func=_cmd_table2)
 
     workloads_parser = commands.add_parser(

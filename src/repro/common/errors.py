@@ -23,3 +23,15 @@ class SimulationError(ReproError):
 
 class CacheError(ReproError):
     """A cache structure was used incorrectly (bad index, bad fill, ...)."""
+
+
+class RunnerError(ReproError):
+    """The sweep runner was misused or could not execute a job."""
+
+
+class CheckpointError(RunnerError):
+    """A checkpoint journal could not be read or written."""
+
+
+class InjectedFaultError(RunnerError):
+    """A deliberately injected fault (test-only failure path exercise)."""

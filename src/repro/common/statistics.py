@@ -76,6 +76,24 @@ class Histogram:
         for value, count in other._counts.items():
             self._counts[value] += count
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.name == other.name and dict(self._counts) == dict(other._counts)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (keys stringified for JSON round-trips)."""
+        return {"name": self.name,
+                "counts": {str(value): count
+                           for value, count in sorted(self._counts.items())}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Histogram":
+        hist = cls(data["name"])
+        for value, count in data.get("counts", {}).items():
+            hist._counts[int(value)] += int(count)
+        return hist
+
 
 @dataclass
 class RunningMean:
@@ -142,12 +160,20 @@ def ratio(numerator: float, denominator: float) -> float:
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean of strictly positive values (paper reports G. Mean UPC)."""
+    """Geometric mean of non-negative values (paper reports G. Mean UPC).
+
+    Negative values are a caller bug and raise :class:`ValueError`.  A zero
+    value is a legitimate degenerate measurement (e.g. a metric that never
+    fired in a partial sweep) and makes the whole mean 0.0 — the mathematical
+    limit of the product — rather than blowing up mid-aggregation.
+    """
     values = list(values)
     if not values:
         return 0.0
-    if any(v <= 0 for v in values):
-        raise ValueError("geometric mean requires strictly positive values")
+    if any(v < 0 for v in values):
+        raise ValueError("geometric mean requires non-negative values")
+    if any(v == 0 for v in values):
+        return 0.0
     product = 1.0
     for value in values:
         product *= value

@@ -14,7 +14,7 @@ many simulator configs), and provides the normalizations the paper plots
 
 from __future__ import annotations
 
-import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -25,7 +25,11 @@ from ..common.config import (
     clasp_config,
     compaction_config,
 )
+from ..common.errors import ReproError
 from ..common.statistics import arithmetic_mean, geometric_mean
+from ..runner.executor import RunnerConfig, SweepReport, SweepRunner
+from ..runner.faults import FaultPlan
+from ..runner.job import SweepJob, build_capacity_jobs, build_policy_jobs
 from ..workloads.suite import WORKLOAD_NAMES, get_workload
 from ..workloads.trace import Trace
 from .metrics import SimulationResult
@@ -41,6 +45,10 @@ POLICY_LABELS = ("baseline", "clasp", "rac", "pwac", "f-pwac")
 #: cycle each workload's footprint through the uop cache many times, short
 #: enough to keep a full-suite sweep tractable in pure Python.
 DEFAULT_TRACE_INSTRUCTIONS = 120_000
+
+#: Default RNG seed for trace generation; every sweep/CLI entry point that
+#: builds traces accepts a ``seed`` so runs are reproducible end to end.
+DEFAULT_SEED = 7
 
 
 def policy_config(label: str, capacity_uops: int = 2048,
@@ -64,17 +72,26 @@ def policy_config(label: str, capacity_uops: int = 2048,
                              max_entries_per_line=max_entries_per_line)
 
 
-_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
+_trace_cache: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
+
+#: Bound on memoised traces (LRU eviction).  Traces are the largest objects a
+#: sweep session holds; without a bound, a long session sweeping many
+#: (workload, length, seed) combinations grows memory without limit.
+_TRACE_CACHE_MAX_ENTRIES = 32
 
 
 def workload_trace(name: str, num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
-                   seed: int = 7) -> Trace:
-    """Build (and memoise) the dynamic trace for a named workload."""
+                   seed: int = DEFAULT_SEED) -> Trace:
+    """Build (and memoise, LRU-bounded) the dynamic trace for a workload."""
     key = (name, num_instructions, seed)
     trace = _trace_cache.get(key)
     if trace is None:
         trace = get_workload(name).trace(num_instructions, seed=seed)
         _trace_cache[key] = trace
+        while len(_trace_cache) > _TRACE_CACHE_MAX_ENTRIES:
+            _trace_cache.popitem(last=False)
+    else:
+        _trace_cache.move_to_end(key)
     return trace
 
 
@@ -84,10 +101,19 @@ def clear_trace_cache() -> None:
 
 @dataclass
 class SweepResult:
-    """Results of one (workload x config) sweep."""
+    """Results of one (workload x config) sweep.
+
+    A sweep that quarantined jobs is *partial*: some (workload, label) cells
+    are absent.  Lookups name the missing key in a :class:`ReproError`
+    instead of surfacing a bare ``KeyError``, and the table builders can
+    either skip incomplete rows (``skip_missing=True``, what the CLI does
+    after printing the failure report) or fail loudly (the default).
+    """
 
     # results[workload][config_label]
     results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+    #: Execution report of the producing runner (None for hand-built sweeps).
+    report: Optional[SweepReport] = None
 
     def add(self, result: SimulationResult) -> None:
         self.results.setdefault(result.workload, {})[result.config_label] = result
@@ -96,18 +122,47 @@ class SweepResult:
         return list(self.results)
 
     def labels(self) -> List[str]:
-        first = next(iter(self.results.values()), {})
-        return list(first)
+        labels: List[str] = []
+        for by_label in self.results.values():
+            for label in by_label:
+                if label not in labels:
+                    labels.append(label)
+        return labels
 
     def metric(self, workload: str, label: str,
                metric: Callable[[SimulationResult], float]) -> float:
-        return metric(self.results[workload][label])
+        by_label = self.results.get(workload)
+        if by_label is None:
+            raise ReproError(
+                f"no results for workload {workload!r} "
+                f"(have: {', '.join(self.results) or 'none'})")
+        result = by_label.get(label)
+        if result is None:
+            raise ReproError(
+                f"no result for config {label!r} under workload "
+                f"{workload!r} (have: {', '.join(by_label) or 'none'}; "
+                "was the job quarantined?)")
+        return metric(result)
 
     def normalized(self, metric: Callable[[SimulationResult], float],
-                   reference_label: str) -> Dict[str, Dict[str, float]]:
-        """``metric(config)/metric(reference)`` per workload and config."""
+                   reference_label: str,
+                   skip_missing: bool = False) -> Dict[str, Dict[str, float]]:
+        """``metric(config)/metric(reference)`` per workload and config.
+
+        A workload lacking the reference label (e.g. its job was
+        quarantined) is skipped when ``skip_missing`` is set, otherwise it
+        raises a :class:`ReproError` naming the missing cell.
+        """
         table: Dict[str, Dict[str, float]] = {}
         for workload, by_label in self.results.items():
+            if reference_label not in by_label:
+                if skip_missing:
+                    continue
+                raise ReproError(
+                    f"reference config {reference_label!r} missing for "
+                    f"workload {workload!r} (have: "
+                    f"{', '.join(by_label) or 'none'}; was the job "
+                    "quarantined? pass skip_missing=True to drop the row)")
             reference = metric(by_label[reference_label])
             table[workload] = {
                 label: (metric(result) / reference if reference else 0.0)
@@ -115,22 +170,52 @@ class SweepResult:
         return table
 
     def improvement_percent(self, metric: Callable[[SimulationResult], float],
-                            reference_label: str) -> Dict[str, Dict[str, float]]:
+                            reference_label: str,
+                            skip_missing: bool = False
+                            ) -> Dict[str, Dict[str, float]]:
         """Percent improvement of ``metric`` over the reference config."""
-        normalized = self.normalized(metric, reference_label)
+        normalized = self.normalized(metric, reference_label,
+                                     skip_missing=skip_missing)
         return {workload: {label: 100.0 * (value - 1.0)
                            for label, value in by_label.items()}
                 for workload, by_label in normalized.items()}
 
     def mean_over_workloads(self, per_workload: Mapping[str, Mapping[str, float]],
                             geometric: bool = False) -> Dict[str, float]:
-        labels = self.labels()
+        """Per-label mean over workloads; tolerates partial tables (a label
+        is averaged over the workloads that actually have it, and labels
+        with no values at all are omitted)."""
         means: Dict[str, float] = {}
-        for label in labels:
-            values = [per_workload[w][label] for w in per_workload]
+        for label in self.labels():
+            values = [by_label[label] for by_label in per_workload.values()
+                      if label in by_label]
+            if not values:
+                continue
             means[label] = geometric_mean(values) if geometric \
                 else arithmetic_mean(values)
         return means
+
+
+def _run_jobs(jobs: Sequence[SweepJob],
+              runner: Optional[RunnerConfig],
+              fault_plan: Optional[FaultPlan],
+              progress: Optional[Callable[[str], None]],
+              progress_line: Callable[[SimulationResult], str]) -> SweepResult:
+    """Execute sweep jobs through the fault-tolerant runner."""
+    runner = runner or RunnerConfig()
+    if runner.jobs > 1:
+        # Pre-warm the trace cache so forked workers inherit built traces
+        # instead of regenerating them per process.
+        for job in jobs:
+            workload_trace(job.workload, job.num_instructions, seed=job.seed)
+    wrapped = (lambda job, result: progress(progress_line(result))) \
+        if progress else None
+    executor = SweepRunner(runner, fault_plan=fault_plan, progress=wrapped)
+    results, report = executor.run(jobs)
+    sweep = SweepResult(report=report)
+    for result in results.values():
+        sweep.add(result)
+    return sweep
 
 
 def run_capacity_sweep(
@@ -138,21 +223,20 @@ def run_capacity_sweep(
         capacities: Sequence[int] = CAPACITY_SWEEP,
         num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
         warmup_instructions: int = 0,
-        progress: Optional[Callable[[str], None]] = None) -> SweepResult:
-    """Fig. 3/4: baseline uop cache at each capacity, per workload."""
-    sweep = SweepResult()
-    for name in workloads:
-        trace = workload_trace(name, num_instructions)
-        for capacity in capacities:
-            label = f"OC_{capacity // 1024}K"
-            config = dataclasses.replace(
-                baseline_config(capacity),
-                warmup_instructions=warmup_instructions)
-            result = Simulator(trace, config, label).run()
-            sweep.add(result)
-            if progress:
-                progress(f"{name} {label}: upc={result.upc:.3f}")
-    return sweep
+        progress: Optional[Callable[[str], None]] = None,
+        seed: int = DEFAULT_SEED,
+        runner: Optional[RunnerConfig] = None,
+        fault_plan: Optional[FaultPlan] = None) -> SweepResult:
+    """Fig. 3/4: baseline uop cache at each capacity, per workload.
+
+    ``runner`` selects the execution policy (parallelism, timeouts, retries,
+    checkpoint/resume); the default is the serial in-process degenerate case.
+    """
+    jobs = build_capacity_jobs(workloads, capacities, num_instructions,
+                               warmup_instructions, seed)
+    return _run_jobs(
+        jobs, runner, fault_plan, progress,
+        lambda r: f"{r.workload} {r.config_label}: upc={r.upc:.3f}")
 
 
 def run_policy_sweep(
@@ -162,25 +246,23 @@ def run_policy_sweep(
         max_entries_per_line: int = 2,
         num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
         warmup_instructions: int = 0,
-        progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+        progress: Optional[Callable[[str], None]] = None,
+        seed: int = DEFAULT_SEED,
+        runner: Optional[RunnerConfig] = None,
+        fault_plan: Optional[FaultPlan] = None) -> SweepResult:
     """Figs. 15-22: the paper's five designs at a fixed capacity."""
-    sweep = SweepResult()
-    for name in workloads:
-        trace = workload_trace(name, num_instructions)
-        for label in labels:
-            config = dataclasses.replace(
-                policy_config(label, capacity_uops, max_entries_per_line),
-                warmup_instructions=warmup_instructions)
-            result = Simulator(trace, config, label).run()
-            sweep.add(result)
-            if progress:
-                progress(f"{name} {label}: upc={result.upc:.3f} "
-                         f"fetch={result.oc_fetch_ratio:.3f}")
-    return sweep
+    jobs = build_policy_jobs(workloads, labels, capacity_uops,
+                             max_entries_per_line, num_instructions,
+                             warmup_instructions, seed)
+    return _run_jobs(
+        jobs, runner, fault_plan, progress,
+        lambda r: (f"{r.workload} {r.config_label}: upc={r.upc:.3f} "
+                   f"fetch={r.oc_fetch_ratio:.3f}"))
 
 
 def run_single(workload: str, config: SimulatorConfig, label: str = "",
-               num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS) -> SimulationResult:
+               num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
+               seed: int = DEFAULT_SEED) -> SimulationResult:
     """Run one workload under one configuration."""
-    trace = workload_trace(workload, num_instructions)
+    trace = workload_trace(workload, num_instructions, seed=seed)
     return Simulator(trace, config, label).run()

@@ -99,6 +99,95 @@ class SimulationResult:
             EntryTermination.TAKEN_BRANCH, 0)
         return ratio(taken, total)
 
+    # -- serialization (checkpoint journal round-trip) -----------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; :meth:`from_dict` restores an equal object.
+
+        Used by the sweep runner to journal completed jobs crash-safely and
+        to ship results across process boundaries.
+        """
+        return {
+            "workload": self.workload,
+            "config_label": self.config_label,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "uops": self.uops,
+            "busy_dispatch_cycles": self.busy_dispatch_cycles,
+            "uops_from_uop_cache": self.uops_from_uop_cache,
+            "uops_from_decoder": self.uops_from_decoder,
+            "uops_from_loop_cache": self.uops_from_loop_cache,
+            "uop_cache_lookups": self.uop_cache_lookups,
+            "uop_cache_hits": self.uop_cache_hits,
+            "uop_cache_fills": self.uop_cache_fills,
+            "entry_size_histogram": (self.entry_size_histogram.to_dict()
+                                     if self.entry_size_histogram else None),
+            "entry_termination_counts": {
+                reason.value: count
+                for reason, count in self.entry_termination_counts.items()},
+            "fill_kind_counts": {
+                kind.value: count
+                for kind, count in self.fill_kind_counts.items()},
+            "entries_spanning_lines_fraction":
+                self.entries_spanning_lines_fraction,
+            "compacted_fill_fraction": self.compacted_fill_fraction,
+            "compacted_line_fraction": self.compacted_line_fraction,
+            "entries_per_pw_histogram": (self.entries_per_pw_histogram.to_dict()
+                                         if self.entries_per_pw_histogram
+                                         else None),
+            "uop_cache_utilization": self.uop_cache_utilization,
+            "branches": self.branches,
+            "branch_mispredicts": self.branch_mispredicts,
+            "decode_resteers": self.decode_resteers,
+            "mispredict_latency_sum": self.mispredict_latency_sum,
+            "decoder_report": ({
+                "insts_decoded": self.decoder_report.insts_decoded,
+                "active_cycles": self.decoder_report.active_cycles,
+                "total_cycles": self.decoder_report.total_cycles,
+                "energy": self.decoder_report.energy,
+            } if self.decoder_report else None),
+            "l1i_hit_rate": self.l1i_hit_rate,
+            "l1d_hit_rate": self.l1d_hit_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` (accepts JSON-decoded payloads)."""
+        result = cls(workload=data["workload"],
+                     config_label=data["config_label"])
+        for name in ("cycles", "instructions", "uops", "busy_dispatch_cycles",
+                     "uops_from_uop_cache", "uops_from_decoder",
+                     "uops_from_loop_cache", "uop_cache_lookups",
+                     "uop_cache_hits", "uop_cache_fills",
+                     "entries_spanning_lines_fraction",
+                     "compacted_fill_fraction", "compacted_line_fraction",
+                     "uop_cache_utilization", "branches",
+                     "branch_mispredicts", "decode_resteers",
+                     "mispredict_latency_sum", "l1i_hit_rate",
+                     "l1d_hit_rate"):
+            setattr(result, name, data[name])
+        if data.get("entry_size_histogram") is not None:
+            result.entry_size_histogram = Histogram.from_dict(
+                data["entry_size_histogram"])
+        if data.get("entries_per_pw_histogram") is not None:
+            result.entries_per_pw_histogram = Histogram.from_dict(
+                data["entries_per_pw_histogram"])
+        result.entry_termination_counts = {
+            EntryTermination(value): count
+            for value, count in data.get("entry_termination_counts",
+                                         {}).items()}
+        result.fill_kind_counts = {
+            FillKind(value): count
+            for value, count in data.get("fill_kind_counts", {}).items()}
+        if data.get("decoder_report") is not None:
+            report = data["decoder_report"]
+            result.decoder_report = DecoderEnergyReport(
+                insts_decoded=report["insts_decoded"],
+                active_cycles=report["active_cycles"],
+                total_cycles=report["total_cycles"],
+                energy=report["energy"])
+        return result
+
     def summary(self) -> Dict[str, float]:
         """Flat dictionary of the headline metrics (for reports/benches)."""
         return {

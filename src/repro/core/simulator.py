@@ -36,6 +36,7 @@ from ..branch.predictor import BranchPredictionUnit, PredictionOutcome
 from ..branch.window import PredictionWindowBuilder
 from ..caches.hierarchy import MemoryHierarchy
 from ..common.config import SimulatorConfig
+from ..common.errors import CacheError, SimulationError
 from ..common.statistics import Histogram
 from ..frontend.loopcache import LoopCache
 from ..isa.uop import UopKind
@@ -49,6 +50,11 @@ from .metrics import SimulationResult
 MISPREDICT_REDIRECT_PENALTY = 2   # flush + refetch overhead beyond resolution
 DECODE_RESTEER_PENALTY = 3        # BTB-miss redirect discovered at decode
 
+#: Strict mode: fetch actions between full invariant sweeps (the per-action
+#: monotonicity check is always on; the structural checks walk the whole uop
+#: cache, so they run on a stride).
+INVARIANT_CHECK_INTERVAL = 4096
+
 
 class Simulator:
     """Runs one trace under one configuration."""
@@ -58,10 +64,18 @@ class Simulator:
                  config_label: str = "",
                  shared_uop_cache: Optional[UopCache] = None,
                  shared_hierarchy: Optional[MemoryHierarchy] = None,
-                 shared_decoder_power: Optional[DecoderPowerModel] = None
-                 ) -> None:
+                 shared_decoder_power: Optional[DecoderPowerModel] = None,
+                 strict: bool = False) -> None:
         """``shared_*`` lets several simulators (SMT hardware threads) share
-        structures; see :class:`repro.core.smt.SmtSimulator`."""
+        structures; see :class:`repro.core.smt.SmtSimulator`.
+
+        ``strict`` enables the runtime invariant checker: cycle monotonicity
+        is validated on every fetch action and the conservation/occupancy/
+        structural checks run every :data:`INVARIANT_CHECK_INTERVAL` actions
+        and at collection, raising :class:`SimulationError` with diagnostic
+        context on any inconsistency.  Long-running sweeps use it so a
+        corrupted simulation fails loudly instead of producing bad numbers.
+        """
         self.trace = trace
         self.config = config or SimulatorConfig()
         cfg = self.config
@@ -103,6 +117,11 @@ class Simulator:
         self.fe_cycles_ic = 0          # cycles advancing the decode path
         self.fe_cycles_redirect = 0    # cycles waiting on branch redirects
         self.fe_cycles_backpressure = 0  # cycles stalled on uop-queue space
+        # Strict-mode invariant checking.
+        self.strict = strict
+        self._max_fe_cycle = 0
+        self._max_backend_cycle = 0
+        self._fetch_actions = 0
 
     def _default_label(self) -> str:
         oc = self.config.uop_cache
@@ -173,6 +192,8 @@ class Simulator:
                 if redirect > fe_cycle:
                     self.fe_cycles_redirect += redirect - fe_cycle
                     fe_cycle = redirect
+                if self.strict:
+                    self._observe_fetch_action(fe_cycle)
                 yield fe_cycle
                 continue
 
@@ -198,6 +219,8 @@ class Simulator:
             if redirect > fe_cycle:
                 self.fe_cycles_redirect += redirect - fe_cycle
                 fe_cycle = redirect
+            if self.strict:
+                self._observe_fetch_action(fe_cycle)
             yield fe_cycle
 
     def collect(self) -> SimulationResult:
@@ -205,7 +228,76 @@ class Simulator:
         if self._pw_entry_count:
             self._entries_per_pw.record(self._pw_entry_count)
             self._pw_entry_count = 0
+        if self.strict:
+            self.check_invariants()
         return self._collect(self.backend.last_cycle)
+
+    # ---------------------------------------------------- invariant checking
+
+    def _diagnostics(self) -> str:
+        """Context appended to every invariant-violation message."""
+        return (f" [workload={self.trace.name!r}"
+                f" config={self.config_label!r}"
+                f" instructions={self._instructions_done}"
+                f" fe_cycle={self._max_fe_cycle}"
+                f" backend_cycle={self.backend.last_cycle}"
+                f" uops(oc={self._uops_from_oc} ic={self._uops_from_ic}"
+                f" loop={self._uops_from_loop})"
+                f" admitted={self.backend.uops_retired}]")
+
+    def _observe_fetch_action(self, fe_cycle: int) -> None:
+        """Strict-mode per-action hook: cycle monotonicity plus a strided
+        full invariant sweep (see :data:`INVARIANT_CHECK_INTERVAL`)."""
+        if fe_cycle < self._max_fe_cycle:
+            raise SimulationError(
+                f"front-end cycle moved backwards: {fe_cycle} < "
+                f"{self._max_fe_cycle}" + self._diagnostics())
+        self._max_fe_cycle = fe_cycle
+        backend_cycle = self.backend.last_cycle
+        if backend_cycle < self._max_backend_cycle:
+            raise SimulationError(
+                f"back-end cycle moved backwards: {backend_cycle} < "
+                f"{self._max_backend_cycle}" + self._diagnostics())
+        self._max_backend_cycle = backend_cycle
+        self._fetch_actions += 1
+        if self._fetch_actions % INVARIANT_CHECK_INTERVAL == 0:
+            self.check_invariants()
+
+    def check_invariants(self) -> None:
+        """Validate simulator-wide consistency; raise :class:`SimulationError`.
+
+        Checks (beyond the per-action cycle monotonicity):
+
+        - **uop conservation** — every uop admitted to the back-end came from
+          exactly one supply path, so uop-cache + decoder + loop-cache supply
+          must equal the back-end's admitted count;
+        - **uop-cache occupancy** — resident uops can never exceed the
+          physical capacity (lines x uops that fit per line);
+        - **structural** — the uop cache's own line/index invariants
+          (delegated to :meth:`UopCache.check_invariants`).
+        """
+        supplied = (self._uops_from_oc + self._uops_from_ic +
+                    self._uops_from_loop)
+        admitted = self.backend.uops_retired
+        if supplied != admitted:
+            raise SimulationError(
+                f"uop conservation violated: supplied {supplied} != "
+                f"admitted {admitted}" + self._diagnostics())
+        oc_cfg = self.config.uop_cache
+        uops_per_line = oc_cfg.usable_line_bytes // oc_cfg.uop_bytes
+        physical_capacity = (oc_cfg.num_sets * oc_cfg.associativity *
+                             max(oc_cfg.max_uops_per_entry, uops_per_line))
+        resident = self.uop_cache.resident_uops()
+        if resident > physical_capacity:
+            raise SimulationError(
+                f"uop cache occupancy {resident} exceeds physical capacity "
+                f"{physical_capacity}" + self._diagnostics())
+        try:
+            self.uop_cache.check_invariants()
+        except CacheError as error:
+            raise SimulationError(
+                f"uop cache structural invariant violated: {error}" +
+                self._diagnostics()) from error
 
     # ------------------------------------------------------- loop cache path
 

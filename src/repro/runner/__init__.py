@@ -1,0 +1,37 @@
+"""Fault-tolerant parallel sweep execution.
+
+Public surface::
+
+    from repro.runner import (
+        SweepJob, SweepRunner, RunnerConfig, SweepReport, JobFailure,
+        FaultPlan, CheckpointJournal, execute_job,
+    )
+
+See :mod:`repro.runner.executor` for the robustness model (timeouts,
+retries, quarantine, checkpoint/resume).
+"""
+
+from .checkpoint import CheckpointJournal
+from .executor import JobFailure, RunnerConfig, SweepReport, SweepRunner
+from .faults import FaultPlan
+from .job import (
+    SweepJob,
+    build_capacity_jobs,
+    build_policy_jobs,
+    capacity_label,
+    execute_job,
+)
+
+__all__ = [
+    "CheckpointJournal",
+    "FaultPlan",
+    "JobFailure",
+    "RunnerConfig",
+    "SweepJob",
+    "SweepReport",
+    "SweepRunner",
+    "build_capacity_jobs",
+    "build_policy_jobs",
+    "capacity_label",
+    "execute_job",
+]

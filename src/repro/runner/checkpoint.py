@@ -1,0 +1,106 @@
+"""Crash-safe checkpoint journal for sweep runs.
+
+Every completed job is journaled as one JSON line keyed by its
+:attr:`~repro.runner.job.SweepJob.job_id`.  Durability model: the journal is
+rewritten through a temporary file and atomically renamed over the previous
+version on every record, so at any kill point the on-disk file is a complete,
+parseable journal — either with or without the latest result, never a torn
+line.  (Sweeps are hundreds of jobs, each seconds to minutes of simulation,
+so the O(journal) rewrite is noise next to one job.)
+
+A journal written by an incompatible format version is rejected with
+:class:`~repro.common.errors.CheckpointError` rather than silently resumed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+from ..common.errors import CheckpointError
+from ..core.metrics import SimulationResult
+
+FORMAT_VERSION = 1
+
+JOURNAL_NAME = "journal.jsonl"
+
+PathLike = Union[str, Path]
+
+
+class CheckpointJournal:
+    """Append-only (logically) journal of completed sweep jobs."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / JOURNAL_NAME
+        self._records: Dict[str, Dict] = {}   # job_id -> result payload
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._records
+
+    def load(self) -> Dict[str, SimulationResult]:
+        """Read the journal from disk; returns ``{job_id: result}``.
+
+        A truncated trailing line (a crash mid-write under a non-atomic
+        filesystem) is dropped; corruption anywhere else raises
+        :class:`CheckpointError` because silently skipping completed work
+        would make ``--resume`` re-run jobs nondeterministically.
+        """
+        self._records = {}
+        if not self.path.exists():
+            return {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint journal {self.path}: {error}"
+            ) from error
+        results: Dict[str, SimulationResult] = {}
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                if number == len(lines) - 1:
+                    break      # torn trailing write from a crash; drop it
+                raise CheckpointError(
+                    f"corrupt checkpoint journal {self.path} at line "
+                    f"{number + 1}: {error}") from error
+            version = payload.get("version")
+            if version != FORMAT_VERSION:
+                raise CheckpointError(
+                    f"{self.path}: journal format version {version} "
+                    f"(expected {FORMAT_VERSION})")
+            job_id = payload["job_id"]
+            self._records[job_id] = payload["result"]
+            results[job_id] = SimulationResult.from_dict(payload["result"])
+        return results
+
+    def record(self, job_id: str, result: SimulationResult) -> None:
+        """Durably journal one completed job (atomic write + rename)."""
+        self._records[job_id] = result.to_dict()
+        self._flush()
+
+    def _flush(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp_path = self.path.with_suffix(".jsonl.tmp")
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for job_id, payload in self._records.items():
+                    handle.write(json.dumps(
+                        {"version": FORMAT_VERSION, "job_id": job_id,
+                         "result": payload},
+                        separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot write checkpoint journal {self.path}: {error}"
+            ) from error

@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the sweep runner.
+
+Tests (and operators debugging the runner) need to *prove* that the retry,
+quarantine, timeout and resume paths work, which requires making specific
+jobs fail in specific ways on specific attempts.  A :class:`FaultPlan` maps
+job ids to the number of leading attempts that should crash or hang; once a
+job's budgeted faults are exhausted, later attempts run normally — which is
+exactly the shape of a transient failure the retry machinery exists for.
+
+The plan is applied inside the worker (serial or forked), so injected
+crashes and hangs exercise the same recovery code paths as real ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..common.errors import InjectedFaultError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which jobs fail, how, and for how many attempts.
+
+    ``crash[job_id] = n`` makes attempts ``0..n-1`` raise
+    :class:`InjectedFaultError`; ``hang[job_id] = n`` makes attempts
+    ``0..n-1`` sleep for ``hang_seconds`` (long enough to trip the runner's
+    per-job timeout).  Crash faults are applied before hang faults.
+    """
+
+    crash: Mapping[str, int] = field(default_factory=dict)
+    hang: Mapping[str, int] = field(default_factory=dict)
+    hang_seconds: float = 30.0
+
+    def apply(self, job_id: str, attempt: int) -> None:
+        """Inject the planned fault for ``(job_id, attempt)``, if any."""
+        if attempt < self.crash.get(job_id, 0):
+            raise InjectedFaultError(
+                f"injected crash for {job_id} (attempt {attempt})")
+        if attempt < self.hang.get(job_id, 0):
+            time.sleep(self.hang_seconds)

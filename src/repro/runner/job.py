@@ -1,0 +1,101 @@
+"""Sweep jobs: the unit of work the fault-tolerant runner schedules.
+
+A :class:`SweepJob` is a small, picklable, self-contained description of one
+(workload x configuration) simulation: everything a worker process needs to
+rebuild the trace and the simulator configuration from scratch.  Jobs carry
+only primitives (names, counts, seeds) rather than live objects so they
+cross process boundaries cheaply and a checkpoint journal can identify them
+stably across runs by :attr:`SweepJob.job_id`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..common.config import baseline_config
+from ..common.errors import RunnerError
+from ..core.metrics import SimulationResult
+
+#: Job kinds understood by :func:`execute_job`.
+KIND_CAPACITY = "capacity"
+KIND_POLICY = "policy"
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (workload x config) simulation, identified by ``workload/label``."""
+
+    workload: str
+    label: str                  # config label used in the sweep tables
+    kind: str                   # KIND_CAPACITY | KIND_POLICY
+    capacity_uops: int = 2048
+    max_entries_per_line: int = 2
+    num_instructions: int = 120_000
+    warmup_instructions: int = 0
+    seed: int = 7
+
+    @property
+    def job_id(self) -> str:
+        """Stable identity used for checkpointing and failure reports."""
+        return f"{self.workload}/{self.label}"
+
+
+def capacity_label(capacity_uops: int) -> str:
+    """The sweep-table label of one capacity point (e.g. ``OC_2K``)."""
+    return f"OC_{capacity_uops // 1024}K"
+
+
+def build_capacity_jobs(workloads: Sequence[str],
+                        capacities: Sequence[int],
+                        num_instructions: int,
+                        warmup_instructions: int = 0,
+                        seed: int = 7) -> List[SweepJob]:
+    """Jobs of a Fig. 3/4 capacity sweep, in canonical (workload-major) order."""
+    return [SweepJob(workload=name, label=capacity_label(capacity),
+                     kind=KIND_CAPACITY, capacity_uops=capacity,
+                     num_instructions=num_instructions,
+                     warmup_instructions=warmup_instructions, seed=seed)
+            for name in workloads for capacity in capacities]
+
+
+def build_policy_jobs(workloads: Sequence[str],
+                      labels: Sequence[str],
+                      capacity_uops: int,
+                      max_entries_per_line: int,
+                      num_instructions: int,
+                      warmup_instructions: int = 0,
+                      seed: int = 7) -> List[SweepJob]:
+    """Jobs of a Fig. 15-22 policy sweep, in canonical order."""
+    return [SweepJob(workload=name, label=label, kind=KIND_POLICY,
+                     capacity_uops=capacity_uops,
+                     max_entries_per_line=max_entries_per_line,
+                     num_instructions=num_instructions,
+                     warmup_instructions=warmup_instructions, seed=seed)
+            for name in workloads for label in labels]
+
+
+def execute_job(job: SweepJob, strict: bool = True) -> SimulationResult:
+    """Run one job to completion in the current process.
+
+    Shared by the serial path and the pool workers so parallel and serial
+    sweeps are bit-identical: the simulation depends only on the (seeded)
+    trace and the configuration, both rebuilt deterministically here.
+    """
+    # Imported lazily: experiment.py builds its sweeps on top of this runner,
+    # so a module-level import would be circular.
+    from ..core.experiment import policy_config, workload_trace
+    from ..core.simulator import Simulator
+
+    if job.kind == KIND_CAPACITY:
+        config = baseline_config(job.capacity_uops)
+    elif job.kind == KIND_POLICY:
+        config = policy_config(job.label, job.capacity_uops,
+                               job.max_entries_per_line)
+    else:
+        raise RunnerError(f"unknown job kind {job.kind!r} for {job.job_id}")
+    config = dataclasses.replace(
+        config, warmup_instructions=job.warmup_instructions)
+    trace = workload_trace(job.workload, job.num_instructions, seed=job.seed)
+    return Simulator(trace, config, job.label, strict=strict).run()

@@ -28,6 +28,31 @@ class TestParser:
         args = build_parser().parse_args(["smt", "bm-x64", "bm-lla"])
         assert args.workloads == ["bm-x64", "bm-lla"]
 
+    def test_runner_flag_defaults(self):
+        args = build_parser().parse_args(["sweep-policy"])
+        assert args.jobs == 1
+        assert args.timeout is None
+        assert args.retries == 2
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+        assert args.seed == 7
+
+    def test_runner_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep-capacity", "--jobs", "4", "--timeout", "30",
+             "--retries", "1", "--checkpoint-dir", "/tmp/ck", "--resume",
+             "--seed", "11"])
+        assert args.jobs == 4
+        assert args.timeout == 30.0
+        assert args.retries == 1
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.resume is True
+        assert args.seed == 11
+
+    def test_run_accepts_seed(self):
+        args = build_parser().parse_args(["run", "bm-x64", "--seed", "3"])
+        assert args.seed == 3
+
 
 class TestCommands:
     def test_workloads_command(self, capsys):
@@ -83,6 +108,23 @@ class TestCommands:
                      "--instructions", "3000", "--warmup", "0"]) == 0
         out = capsys.readouterr().out
         assert "OC_64K" in out
+
+    def test_sweep_policy_parallel_jobs(self, capsys):
+        assert main(["sweep-policy", "--workloads", "bm-x64",
+                     "--instructions", "2000", "--warmup", "0",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "UPC improvement" in out
+
+    def test_sweep_policy_checkpoint_and_resume(self, capsys, tmp_path):
+        argv = ["sweep-policy", "--workloads", "bm-x64",
+                "--instructions", "1500", "--warmup", "0",
+                "--checkpoint-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert (tmp_path / "journal.jsonl").exists()
+        assert main(argv + ["--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "resumed from checkpoint" in err
 
     def test_sweep_rejects_bad_workloads(self):
         with pytest.raises(Exception):

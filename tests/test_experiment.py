@@ -3,10 +3,13 @@
 import pytest
 
 from repro.common.config import CompactionPolicy
+from repro.common.errors import ReproError
+import repro.core.experiment as experiment
 from repro.core.experiment import (
     CAPACITY_SWEEP,
     POLICY_LABELS,
     SweepResult,
+    clear_trace_cache,
     policy_config,
     run_capacity_sweep,
     run_policy_sweep,
@@ -57,6 +60,21 @@ class TestTraceCache:
         b = workload_trace("bm-x64", 3000)
         assert a is not b
 
+    def test_different_seeds_differ(self):
+        a = workload_trace("bm-x64", 2000, seed=7)
+        b = workload_trace("bm-x64", 2000, seed=8)
+        assert a is not b
+
+    def test_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(experiment, "_TRACE_CACHE_MAX_ENTRIES", 2)
+        clear_trace_cache()
+        for seed in range(4):
+            workload_trace("bm-x64", 1000, seed=seed)
+        assert len(experiment._trace_cache) == 2
+        # Most recently used entries survive.
+        assert ("bm-x64", 1000, 3) in experiment._trace_cache
+        clear_trace_cache()
+
 
 def _result(workload, label, upc, power=1.0):
     result = SimulationResult(workload=workload, config_label=label)
@@ -105,6 +123,58 @@ class TestSweepResult:
         assert means["b"] == pytest.approx((1.2 * 1.1) ** 0.5)
 
 
+class TestPartialSweepResult:
+    """Behaviour when jobs were quarantined (missing cells in the table)."""
+
+    def _partial_sweep(self):
+        # w2 is missing label "b" (e.g. its job was quarantined).
+        sweep = SweepResult()
+        sweep.add(_result("w1", "a", 1.0))
+        sweep.add(_result("w1", "b", 1.2))
+        sweep.add(_result("w2", "a", 2.0))
+        return sweep
+
+    def test_metric_names_missing_workload(self):
+        sweep = self._partial_sweep()
+        with pytest.raises(ReproError, match="'w3'"):
+            sweep.metric("w3", "a", lambda r: r.upc)
+
+    def test_metric_names_missing_label(self):
+        sweep = self._partial_sweep()
+        with pytest.raises(ReproError, match="'b'"):
+            sweep.metric("w2", "b", lambda r: r.upc)
+
+    def test_metric_present_cell_still_works(self):
+        sweep = self._partial_sweep()
+        assert sweep.metric("w2", "a", lambda r: r.upc) == pytest.approx(2.0)
+
+    def test_normalized_missing_reference_raises(self):
+        sweep = self._partial_sweep()
+        with pytest.raises(ReproError, match="'b'.*'w2'"):
+            sweep.normalized(lambda r: r.upc, "b")
+
+    def test_normalized_skip_missing_drops_row(self):
+        sweep = self._partial_sweep()
+        table = sweep.normalized(lambda r: r.upc, "b", skip_missing=True)
+        assert list(table) == ["w1"]
+
+    def test_labels_are_the_union(self):
+        sweep = self._partial_sweep()
+        assert sweep.labels() == ["a", "b"]
+
+    def test_mean_over_workloads_tolerates_partial_table(self):
+        sweep = self._partial_sweep()
+        table = sweep.normalized(lambda r: r.upc, "a")
+        means = sweep.mean_over_workloads(table)
+        assert means["a"] == pytest.approx(1.0)
+        assert means["b"] == pytest.approx(1.2)   # only w1 has it
+
+    def test_mean_over_workloads_omits_empty_labels(self):
+        sweep = self._partial_sweep()
+        means = sweep.mean_over_workloads({"w1": {"a": 1.0}, "w2": {"a": 2.0}})
+        assert set(means) == {"a"}
+
+
 class TestRealSweeps:
     """Small end-to-end sweeps on one workload (kept tiny for test speed)."""
 
@@ -129,3 +199,21 @@ class TestRealSweeps:
         result = run_single("bm-x64", policy_config("baseline"), "b",
                             num_instructions=4000)
         assert result.instructions == 4000
+
+    def test_run_single_seed_changes_trace(self):
+        a = run_single("bm-x64", policy_config("baseline"), "b",
+                       num_instructions=2000, seed=7)
+        b = run_single("bm-x64", policy_config("baseline"), "b",
+                       num_instructions=2000, seed=11)
+        assert a != b   # different dynamic traces, different counters
+
+    def test_sweep_seed_is_plumbed_through(self):
+        s7 = run_policy_sweep(workloads=["bm-x64"], labels=("baseline",),
+                              num_instructions=2000, seed=7)
+        s7_again = run_policy_sweep(workloads=["bm-x64"], labels=("baseline",),
+                                    num_instructions=2000, seed=7)
+        s11 = run_policy_sweep(workloads=["bm-x64"], labels=("baseline",),
+                               num_instructions=2000, seed=11)
+        r = lambda s: s.results["bm-x64"]["baseline"]
+        assert r(s7) == r(s7_again)
+        assert r(s7) != r(s11)

@@ -1,0 +1,84 @@
+"""Tests for the simulator's strict-mode runtime invariant checker."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.experiment import policy_config, workload_trace
+from repro.core.simulator import Simulator
+
+
+def _strict_sim(label="baseline", instructions=4000):
+    trace = workload_trace("bm-x64", instructions)
+    return Simulator(trace, policy_config(label), label, strict=True)
+
+
+class TestStrictMode:
+    def test_strict_run_completes(self):
+        result = _strict_sim().run()
+        assert result.instructions == 4000
+
+    def test_strict_matches_non_strict(self):
+        trace = workload_trace("bm-x64", 4000)
+        loose = Simulator(trace, policy_config("f-pwac"), "f", strict=False).run()
+        strict = Simulator(trace, policy_config("f-pwac"), "f", strict=True).run()
+        assert strict == loose
+
+    def test_default_is_not_strict(self):
+        trace = workload_trace("bm-x64", 1000)
+        assert Simulator(trace, policy_config("baseline")).strict is False
+
+
+class TestViolations:
+    def test_uop_conservation_violation(self):
+        sim = _strict_sim()
+        sim.run()
+        sim._uops_from_oc += 3
+        with pytest.raises(SimulationError, match="conservation"):
+            sim.check_invariants()
+
+    def test_occupancy_violation(self):
+        sim = _strict_sim()
+        sim.run()
+        sim.uop_cache.resident_uops = lambda: 10 ** 9
+        with pytest.raises(SimulationError, match="occupancy"):
+            sim.check_invariants()
+
+    def test_structural_violation_wrapped(self):
+        sim = _strict_sim("f-pwac")
+        sim.run()
+        # Corrupt the cache's lookup index: a tag that maps to no entry.
+        sim.uop_cache._index[0][0xdead] = 0
+        with pytest.raises(SimulationError, match="structural"):
+            sim.check_invariants()
+
+    def test_fe_cycle_monotonicity_violation(self):
+        sim = _strict_sim()
+        sim._observe_fetch_action(10)
+        with pytest.raises(SimulationError, match="front-end cycle"):
+            sim._observe_fetch_action(5)
+
+    def test_backend_cycle_monotonicity_violation(self):
+        sim = _strict_sim()
+        sim.run()
+        sim._max_backend_cycle = sim.backend.last_cycle + 100
+        with pytest.raises(SimulationError, match="back-end cycle"):
+            sim._observe_fetch_action(sim._max_fe_cycle)
+
+    def test_violation_carries_diagnostic_context(self):
+        sim = _strict_sim()
+        sim.run()
+        sim._uops_from_ic += 1
+        with pytest.raises(SimulationError) as excinfo:
+            sim.check_invariants()
+        message = str(excinfo.value)
+        assert "workload='bm-x64'" in message
+        assert "instructions=4000" in message
+        assert "admitted=" in message
+
+    def test_strict_collect_raises_on_corruption(self):
+        sim = _strict_sim()
+        for _ in sim.steps():
+            pass
+        sim._uops_from_loop += 7
+        with pytest.raises(SimulationError):
+            sim.collect()

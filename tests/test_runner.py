@@ -1,0 +1,267 @@
+"""Tests for the fault-tolerant sweep runner (checkpoint, retry, quarantine,
+resume, and serial/parallel parity)."""
+
+import json
+
+import pytest
+
+from repro.common.errors import CheckpointError, ReproError, RunnerError
+from repro.core.experiment import run_policy_sweep, run_single, policy_config
+from repro.core.metrics import SimulationResult
+from repro.runner import (
+    CheckpointJournal,
+    FaultPlan,
+    RunnerConfig,
+    SweepJob,
+    SweepRunner,
+    build_capacity_jobs,
+    build_policy_jobs,
+    execute_job,
+)
+
+WORKLOADS = ["bm-x64", "bm-lla"]
+LABELS = ("baseline", "clasp")
+INSTRUCTIONS = 1500
+
+
+def _jobs(workloads=WORKLOADS, labels=LABELS, instructions=INSTRUCTIONS):
+    return build_policy_jobs(workloads, labels, 2048, 2, instructions)
+
+
+class TestJobs:
+    def test_job_id(self):
+        job = SweepJob(workload="bm-x64", label="rac", kind="policy")
+        assert job.job_id == "bm-x64/rac"
+
+    def test_canonical_order_is_workload_major(self):
+        jobs = _jobs()
+        assert [j.job_id for j in jobs] == [
+            "bm-x64/baseline", "bm-x64/clasp",
+            "bm-lla/baseline", "bm-lla/clasp"]
+
+    def test_capacity_jobs_label(self):
+        jobs = build_capacity_jobs(["bm-x64"], (2048, 65536), 1000)
+        assert [j.label for j in jobs] == ["OC_2K", "OC_64K"]
+
+    def test_execute_unknown_kind(self):
+        job = SweepJob(workload="bm-x64", label="x", kind="nope")
+        with pytest.raises(RunnerError):
+            execute_job(job)
+
+    def test_execute_matches_direct_simulation(self):
+        job = _jobs(["bm-x64"], ("baseline",))[0]
+        direct = run_single("bm-x64", policy_config("baseline", 2048),
+                            "baseline", num_instructions=INSTRUCTIONS)
+        assert execute_job(job) == direct
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip_equality(self):
+        result = run_single("bm-x64", policy_config("f-pwac"), "f-pwac",
+                            num_instructions=4000)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert SimulationResult.from_dict(payload) == result
+
+    def test_round_trip_preserves_derived_metrics(self):
+        result = run_single("bm-x64", policy_config("baseline"), "b",
+                            num_instructions=4000)
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored.upc == result.upc
+        assert restored.decoder_power == result.decoder_power
+        assert restored.entry_size_histogram.mean() == \
+            result.entry_size_histogram.mean()
+
+
+class TestCheckpointJournal:
+    def _result(self, workload="w", label="c"):
+        result = SimulationResult(workload=workload, config_label=label)
+        result.cycles = 123
+        result.uops = 456
+        return result
+
+    def test_record_and_load(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.record("w/a", self._result("w", "a"))
+        journal.record("w/b", self._result("w", "b"))
+        loaded = CheckpointJournal(tmp_path).load()
+        assert set(loaded) == {"w/a", "w/b"}
+        assert loaded["w/a"].cycles == 123
+
+    def test_load_missing_is_empty(self, tmp_path):
+        assert CheckpointJournal(tmp_path / "nope").load() == {}
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.record("w/a", self._result())
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"version":1,"job_id":"w/b","resu')   # torn write
+        loaded = CheckpointJournal(tmp_path).load()
+        assert set(loaded) == {"w/a"}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.record("w/a", self._result())
+        good = journal.path.read_text(encoding="utf-8")
+        journal.path.write_text("garbage\n" + good, encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            CheckpointJournal(tmp_path).load()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal.path.write_text(
+            '{"version":99,"job_id":"w/a","result":{}}\n', encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            journal.load()
+
+
+class TestRunnerConfigValidation:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(RunnerError):
+            RunnerConfig(jobs=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(RunnerError):
+            RunnerConfig(retries=-1)
+
+    def test_rejects_resume_without_checkpoint(self):
+        with pytest.raises(RunnerError):
+            RunnerConfig(resume=True)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(RunnerError):
+            RunnerConfig(timeout_seconds=0)
+
+
+class TestSerialRunner:
+    def test_duplicate_job_ids_rejected(self):
+        job = _jobs(["bm-x64"], ("baseline",))[0]
+        with pytest.raises(RunnerError):
+            SweepRunner(RunnerConfig()).run([job, job])
+
+    def test_crash_retry_then_success(self):
+        jobs = _jobs(["bm-x64"], ("baseline",))
+        plan = FaultPlan(crash={"bm-x64/baseline": 2})
+        runner = SweepRunner(RunnerConfig(retries=2, backoff_seconds=0.0),
+                             fault_plan=plan)
+        results, report = runner.run(jobs)
+        assert "bm-x64/baseline" in results
+        assert report.ok
+        assert report.retried == {"bm-x64/baseline": 2}
+
+    def test_exhausted_retries_quarantine(self):
+        jobs = _jobs(["bm-x64"], LABELS)
+        plan = FaultPlan(crash={"bm-x64/clasp": 99})
+        runner = SweepRunner(RunnerConfig(retries=1, backoff_seconds=0.0),
+                             fault_plan=plan)
+        results, report = runner.run(jobs)
+        # The sweep completed with the healthy job despite the sick one.
+        assert set(results) == {"bm-x64/baseline"}
+        assert not report.ok
+        (failure,) = report.quarantined
+        assert failure.job_id == "bm-x64/clasp"
+        assert failure.attempts == 2
+        assert all("InjectedFaultError" in error for error in failure.errors)
+        assert "QUARANTINED bm-x64/clasp" in report.describe()
+
+    def test_checkpoint_resume_skips_completed(self, tmp_path):
+        jobs = _jobs(["bm-x64"], LABELS)
+        plan = FaultPlan(crash={"bm-x64/clasp": 99})
+        first = SweepRunner(
+            RunnerConfig(retries=0, backoff_seconds=0.0,
+                         checkpoint_dir=tmp_path),
+            fault_plan=plan)
+        results, report = first.run(jobs)
+        assert set(results) == {"bm-x64/baseline"}
+
+        second = SweepRunner(RunnerConfig(checkpoint_dir=tmp_path,
+                                          resume=True))
+        results2, report2 = second.run(jobs)
+        assert set(results2) == {"bm-x64/baseline", "bm-x64/clasp"}
+        assert report2.resumed == ["bm-x64/baseline"]     # not re-run
+        assert report2.executed == ["bm-x64/clasp"]       # only the missing one
+        # The resumed result is the journaled one, bit-for-bit.
+        assert results2["bm-x64/baseline"] == results["bm-x64/baseline"]
+
+    def test_existing_journal_without_resume_rejected(self, tmp_path):
+        jobs = _jobs(["bm-x64"], ("baseline",))
+        SweepRunner(RunnerConfig(checkpoint_dir=tmp_path)).run(jobs)
+        with pytest.raises(RunnerError):
+            SweepRunner(RunnerConfig(checkpoint_dir=tmp_path)).run(jobs)
+
+
+class TestParallelRunner:
+    def test_parallel_matches_serial_bit_identical(self):
+        jobs = _jobs()
+        serial, _ = SweepRunner(RunnerConfig(jobs=1)).run(jobs)
+        parallel, report = SweepRunner(RunnerConfig(jobs=2)).run(jobs)
+        assert report.ok
+        assert list(parallel) == list(serial)     # canonical order preserved
+        assert parallel == serial                 # results bit-identical
+
+    def test_fault_injected_sweep_quarantines_and_resumes(self, tmp_path):
+        """The acceptance scenario: one job crashes twice (heals via retry),
+        one job hangs past its timeout every attempt (quarantined); the
+        sweep completes, reports, and --resume re-runs only what's missing."""
+        jobs = _jobs()
+        plan = FaultPlan(crash={"bm-x64/clasp": 2},
+                         hang={"bm-lla/baseline": 99}, hang_seconds=30.0)
+        runner = SweepRunner(
+            RunnerConfig(jobs=2, retries=2, backoff_seconds=0.0,
+                         timeout_seconds=1.0, checkpoint_dir=tmp_path),
+            fault_plan=plan)
+        results, report = runner.run(jobs)
+
+        assert set(results) == {"bm-x64/baseline", "bm-x64/clasp",
+                                "bm-lla/clasp"}
+        assert report.retried == {"bm-x64/clasp": 2}
+        (failure,) = report.quarantined
+        assert failure.job_id == "bm-lla/baseline"
+        assert failure.attempts == 3
+        assert all("timed out" in error for error in failure.errors)
+
+        # Resume (faults gone, as after fixing the cause): only the
+        # quarantined job is re-run; everything else comes from the journal.
+        resumed = SweepRunner(RunnerConfig(jobs=2, checkpoint_dir=tmp_path,
+                                           resume=True))
+        results2, report2 = resumed.run(jobs)
+        assert report2.ok
+        assert report2.executed == ["bm-lla/baseline"]
+        assert sorted(report2.resumed) == sorted(results)
+        assert set(results2) == {job.job_id for job in jobs}
+        for job_id, result in results.items():
+            assert results2[job_id] == result
+
+
+class TestSweepIntegration:
+    def test_policy_sweep_parallel_tables_identical(self):
+        kwargs = dict(workloads=["bm-x64"], labels=LABELS,
+                      num_instructions=2000)
+        serial = run_policy_sweep(**kwargs)
+        parallel = run_policy_sweep(runner=RunnerConfig(jobs=2), **kwargs)
+        table_s = serial.normalized(lambda r: r.upc, "baseline")
+        table_p = parallel.normalized(lambda r: r.upc, "baseline")
+        assert table_s == table_p     # bit-identical aggregate tables
+
+    def test_sweep_report_attached(self):
+        sweep = run_policy_sweep(workloads=["bm-x64"], labels=("baseline",),
+                                 num_instructions=1500)
+        assert sweep.report is not None
+        assert sweep.report.ok
+        assert sweep.report.total_jobs == 1
+
+    def test_sweep_with_quarantine_is_partial_but_usable(self):
+        plan = FaultPlan(crash={"bm-x64/clasp": 99})
+        sweep = run_policy_sweep(
+            workloads=WORKLOADS, labels=LABELS,
+            num_instructions=INSTRUCTIONS,
+            runner=RunnerConfig(retries=0, backoff_seconds=0.0),
+            fault_plan=plan)
+        assert not sweep.report.ok
+        with pytest.raises(ReproError):
+            sweep.metric("bm-x64", "clasp", lambda r: r.upc)
+        table = sweep.normalized(lambda r: r.upc, "baseline")
+        assert "clasp" not in table["bm-x64"]
+        assert "clasp" in table["bm-lla"]
+        means = sweep.mean_over_workloads(table)
+        assert set(means) == {"baseline", "clasp"}

@@ -138,9 +138,15 @@ class TestHelpers:
     def test_geometric_mean_empty(self):
         assert geometric_mean([]) == 0.0
 
-    def test_geometric_mean_rejects_nonpositive(self):
+    def test_geometric_mean_zero_value_is_zero(self):
+        # Regression: a zero mid-aggregation used to raise ValueError and
+        # kill the whole sweep report; it is the limit of the product.
+        assert geometric_mean([1.0, 0.0]) == 0.0
+        assert geometric_mean([0.0]) == 0.0
+
+    def test_geometric_mean_rejects_negative(self):
         with pytest.raises(ValueError):
-            geometric_mean([1.0, 0.0])
+            geometric_mean([1.0, -2.0])
 
     def test_arithmetic_mean(self):
         assert arithmetic_mean([1, 2, 3]) == pytest.approx(2.0)
