@@ -9,6 +9,7 @@ Commands:
 - ``table1``         render the simulated configuration (paper Table I)
 - ``table2``         render the workload suite (paper Table II)
 - ``workloads``      list the available workload profiles
+- ``lint``           run the simlint determinism/correctness linter
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ from .core.experiment import (
     workload_trace,
 )
 from .core.simulator import Simulator
+from .lint.cli import add_lint_arguments, run_lint
 from .runner.executor import RunnerConfig
 from .core.smt import simulate_smt
 from .workloads.suite import (
@@ -283,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
     workloads_parser = commands.add_parser(
         "workloads", help="list available workloads")
     workloads_parser.set_defaults(func=_cmd_workloads)
+
+    lint_parser = commands.add_parser(
+        "lint", help="run the simlint determinism/correctness linter")
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=run_lint)
     return parser
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 from .errors import ConfigError
 
@@ -276,7 +276,7 @@ class SimulatorConfig:
         if self.max_instructions is not None:
             _require(self.max_instructions > 0, "max_instructions must be positive")
 
-    def with_uop_cache(self, **kwargs) -> "SimulatorConfig":
+    def with_uop_cache(self, **kwargs: Any) -> "SimulatorConfig":
         """Copy with uop-cache fields replaced (convenience for sweeps)."""
         return replace(self, uop_cache=replace(self.uop_cache, **kwargs))
 

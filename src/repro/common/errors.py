@@ -9,6 +9,14 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
+class ReproWarning(UserWarning):
+    """Base class for warnings emitted by this package.
+
+    Used for legitimate-but-suspicious situations (e.g. a degenerate
+    statistic) that should be visible without aborting an aggregation.
+    """
+
+
 class ConfigError(ReproError):
     """An invalid or inconsistent configuration was supplied."""
 

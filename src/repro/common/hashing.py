@@ -1,0 +1,42 @@
+"""Deterministic integer mixing for RNG seed derivation.
+
+Seed derivation must be a *bijective, avalanching* map: every (seed,
+stream-name) pair needs a distinct, well-scrambled RNG seed, and no input
+may collapse to a fixed point.  Multiplicative schemes like
+``seed * KNUTH % 2**32`` fail both requirements — ``seed=0`` maps to 0 no
+matter what else is mixed in, and low bits avalanche poorly.  SplitMix64
+(Steele, Lea & Flood, OOPSLA 2014) is the standard finalizer for exactly
+this job: cheap, bijective on 64-bit values, and statistically strong
+enough to seed downstream PRNGs.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(value: int) -> int:
+    """SplitMix64 finalizer: bijectively scramble a 64-bit integer.
+
+    Negative or oversized inputs are reduced modulo 2**64 first, so any
+    Python int is accepted.
+    """
+    value &= _MASK64
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def derive_stream_seed(seed: int, stream: str) -> int:
+    """Derive an independent RNG seed for a named stream.
+
+    Distinct ``(seed, stream)`` pairs yield distinct, decorrelated seeds;
+    in particular ``seed=0`` does *not* collapse to RNG seed 0.  The stream
+    name is hashed with a deterministic FNV-1a (not ``hash()``, which is
+    salted per process) so derivation is stable across interpreter runs.
+    """
+    name_hash = 0xCBF29CE484222325
+    for byte in stream.encode("utf-8"):
+        name_hash = ((name_hash ^ byte) * 0x100000001B3) & _MASK64
+    return splitmix64(splitmix64(seed) ^ name_hash)

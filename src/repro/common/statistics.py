@@ -13,9 +13,12 @@ needs:
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, cast
+
+from .errors import ReproWarning
 
 
 @dataclass
@@ -81,16 +84,17 @@ class Histogram:
             return NotImplemented
         return self.name == other.name and dict(self._counts) == dict(other._counts)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (keys stringified for JSON round-trips)."""
         return {"name": self.name,
                 "counts": {str(value): count
                            for value, count in sorted(self._counts.items())}}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "Histogram":
-        hist = cls(data["name"])
-        for value, count in data.get("counts", {}).items():
+    def from_dict(cls, data: Mapping[str, object]) -> "Histogram":
+        hist = cls(cast(str, data["name"]))
+        counts = cast(Mapping[str, int], data.get("counts", {}))
+        for value, count in counts.items():
             hist._counts[int(value)] += int(count)
         return hist
 
@@ -165,14 +169,22 @@ def geometric_mean(values: Iterable[float]) -> float:
     Negative values are a caller bug and raise :class:`ValueError`.  A zero
     value is a legitimate degenerate measurement (e.g. a metric that never
     fired in a partial sweep) and makes the whole mean 0.0 — the mathematical
-    limit of the product — rather than blowing up mid-aggregation.
+    limit of the product — rather than blowing up mid-aggregation.  Because a
+    zero usually indicates a quarantined job or a dead counter upstream, the
+    degenerate path emits a :class:`ReproWarning` instead of staying silent.
     """
     values = list(values)
     if not values:
         return 0.0
     if any(v < 0 for v in values):
         raise ValueError("geometric mean requires non-negative values")
-    if any(v == 0 for v in values):
+    zeros = sum(1 for v in values if v == 0)
+    if zeros:
+        warnings.warn(
+            f"geometric mean over {len(values)} value(s) containing {zeros} "
+            "zero(s) is 0.0; zeros usually mean a metric never fired "
+            "(quarantined job or dead counter?)",
+            ReproWarning, stacklevel=2)
         return 0.0
     product = 1.0
     for value in values:

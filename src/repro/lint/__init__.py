@@ -1,0 +1,48 @@
+"""simlint: an AST-based determinism & simulator-correctness linter.
+
+The sweep runner (DESIGN.md §8) promises bit-identical aggregate tables
+across serial, parallel, and checkpoint-resumed executions.  That promise
+is a *static* property of the code — it holds until someone introduces an
+unseeded RNG draw, a wall-clock read, or a hash-ordered iteration into a
+simulation path — so this package enforces it statically, with a small rule
+engine over Python ASTs (see DESIGN.md §9 for the rule rationale and how to
+add a rule).
+
+Usage: ``python -m repro lint [paths]`` (the ``lint`` CLI subcommand).
+"""
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import (
+    ImportMap,
+    LintEngine,
+    LintError,
+    LintReport,
+    Module,
+    ProjectRule,
+    Rule,
+    VisitorRule,
+    all_rules,
+    register,
+    rule_catalog,
+)
+from .finding import Finding, Severity
+from . import rules as _rules  # noqa: F401  (imports register the rule set)
+
+__all__ = [
+    "Finding",
+    "ImportMap",
+    "LintEngine",
+    "LintError",
+    "LintReport",
+    "Module",
+    "ProjectRule",
+    "Rule",
+    "Severity",
+    "VisitorRule",
+    "all_rules",
+    "apply_baseline",
+    "load_baseline",
+    "register",
+    "rule_catalog",
+    "write_baseline",
+]

@@ -1,0 +1,78 @@
+"""Baseline files: acknowledged pre-existing findings that don't fail CI.
+
+A baseline maps finding fingerprints (rule + path + message, no line
+numbers) to occurrence counts.  Matching is count-aware: if the baseline
+acknowledges two occurrences of a fingerprint and a run produces three,
+the third is reported as new.  Fixing a baselined finding never breaks the
+build — stale entries are reported separately so they can be pruned.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .engine import LintError
+from .finding import Finding
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise LintError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(data, dict) or "findings" not in data:
+        raise LintError(f"baseline {path} is not a simlint baseline file")
+    findings = data["findings"]
+    if not isinstance(findings, dict):
+        raise LintError(f"baseline {path}: 'findings' must be an object")
+    return {str(fingerprint): int(count)
+            for fingerprint, count in findings.items()}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Persist the fingerprints of ``findings`` as the new baseline."""
+    counts = Counter(finding.fingerprint for finding in findings)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "comment": ("Acknowledged pre-existing simlint findings. "
+                    "Regenerate with: python -m repro lint --write-baseline"),
+        "findings": {fingerprint: counts[fingerprint]
+                     for fingerprint in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+@dataclass
+class BaselineResult:
+    """Findings split against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    #: Fingerprints in the baseline that no longer occur (prune candidates).
+    stale: List[str] = field(default_factory=list)
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Dict[str, int]) -> BaselineResult:
+    """Split ``findings`` into new vs. baseline-acknowledged occurrences."""
+    remaining = Counter(baseline)
+    outcome = BaselineResult()
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            outcome.baselined.append(finding)
+        else:
+            outcome.new.append(finding)
+    outcome.stale = sorted(fingerprint
+                           for fingerprint, count in remaining.items()
+                           if count > 0)
+    return outcome

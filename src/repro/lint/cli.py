@@ -1,0 +1,122 @@
+"""CLI front-end for simlint: ``python -m repro lint [paths]``.
+
+Exit codes (CI contract):
+
+- 0 — no findings beyond the baseline,
+- 1 — new findings (or stale baseline entries under ``--strict-baseline``),
+- 2 — the linter itself failed (bad path, unreadable baseline, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import LintEngine, LintError, all_rules, rule_catalog
+
+#: Default committed baseline, resolved relative to the working directory
+#: (CI and developers both run from the repository root).
+DEFAULT_BASELINE = ".simlint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach lint options to the ``repro lint`` subparser."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file of acknowledged findings "
+                             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="acknowledge all current findings in the "
+                             "baseline file and exit 0")
+    parser.add_argument("--strict-baseline", action="store_true",
+                        help="also fail when baseline entries are stale "
+                             "(fixed findings that should be pruned)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every registered rule and exit")
+    parser.add_argument("--ignore-scope", action="store_true",
+                        help="apply path-scoped rules to every file "
+                             "(used by the fixture tests)")
+
+
+def _list_rules(stream: TextIO) -> int:
+    for rule_class in rule_catalog():
+        scope = ", ".join(rule_class.scope) if rule_class.scope else "all files"
+        stream.write(f"{rule_class.id}  {rule_class.title}\n")
+        stream.write(f"    severity: {rule_class.severity.value}; "
+                     f"scope: {scope}\n")
+        stream.write(f"    {rule_class.rationale}\n\n")
+    return 0
+
+
+def run_lint(args: argparse.Namespace,
+             stream: Optional[TextIO] = None) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    out: TextIO = stream if stream is not None else sys.stdout
+    if args.list_rules:
+        return _list_rules(out)
+
+    root = Path.cwd()
+    engine = LintEngine(root=root, rules=all_rules(),
+                        ignore_scope=args.ignore_scope)
+    baseline_path = Path(args.baseline)
+    try:
+        report = engine.run([Path(p) for p in args.paths])
+        if args.write_baseline:
+            write_baseline(baseline_path, report.findings)
+            out.write(f"simlint: wrote {len(report.findings)} finding(s) "
+                      f"to {baseline_path}\n")
+            return 0
+        baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    except LintError as error:
+        print(f"simlint: error: {error}", file=sys.stderr)
+        return 2
+
+    split = apply_baseline(report.findings, baseline)
+    failed = bool(split.new) or (args.strict_baseline and bool(split.stale))
+
+    if args.format == "json":
+        out.write(json.dumps({
+            "files_checked": report.files_checked,
+            "suppressed": report.suppressed,
+            "baselined": len(split.baselined),
+            "stale_baseline": split.stale,
+            "findings": [finding.to_dict() for finding in split.new],
+        }, indent=2) + "\n")
+        return 1 if failed else 0
+
+    for finding in split.new:
+        out.write(finding.render() + "\n")
+    for fingerprint in split.stale:
+        out.write(f"stale baseline entry (fixed? prune it): {fingerprint}\n")
+    out.write(f"simlint: {report.files_checked} file(s), "
+              f"{len(split.new)} finding(s), "
+              f"{len(split.baselined)} baselined, "
+              f"{report.suppressed} suppressed\n")
+    return 1 if failed else 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Standalone parser (``python -m repro.lint.cli``, used by tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="AST-based determinism & simulator-correctness linter")
+    add_lint_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Finding and severity primitives for the simlint static analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects: the engine produces them, the CLI renders them, and the
+baseline machinery matches them by a *fingerprint* that deliberately omits
+line/column so that unrelated edits (which shift lines) neither hide nor
+resurrect baselined findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; CI fails on both levels by default."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # posix-style path relative to the lint root
+    line: int          # 1-based
+    col: int           # 0-based, as reported by the ast module
+    message: str
+    severity: Severity = Severity.ERROR
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used for baseline matching."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity.value}: {self.message} [{self.rule}]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity.value,
+        }

@@ -296,7 +296,7 @@ class UopCache:
                 sets_to_probe.add(
                     self.set_index(line_address - back * self.icache_line_bytes))
         removed = 0
-        for set_index in sets_to_probe:
+        for set_index in sorted(sets_to_probe):
             for way, line in enumerate(self._sets[set_index]):
                 keep = []
                 for entry in line.entries:

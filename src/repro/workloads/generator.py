@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..common.errors import WorkloadError
+from ..common.hashing import derive_stream_seed
 from ..isa.builder import INTEGER_MIX, InstructionBuilder, InstructionMix
 from ..isa.instruction import BranchKind, X86Instruction
 from .program import BasicBlock, Function, Program
@@ -411,7 +412,11 @@ class _TraceWalker:
 
     def __init__(self, workload: Workload, seed: int) -> None:
         self.workload = workload
-        self._rng = random.Random(seed * 2654435761 % (1 << 32))
+        # SplitMix64 derivation (common.hashing): bijective in the seed and
+        # salted by the workload name, so seed=0 does not collapse to RNG
+        # seed 0 and co-run workloads never share a walk stream.
+        self._rng = random.Random(
+            derive_stream_seed(seed, workload.profile.name))
         profile = workload.profile
         ranks = range(1, profile.num_functions + 1)
         weights = [rank ** -profile.hot_function_zipf for rank in ranks]

@@ -1,0 +1,9 @@
+"""C1 fixture, fixed: every registered counter has a writer."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulationResult:
+    workload: str = ""
+    cycles: int = 0

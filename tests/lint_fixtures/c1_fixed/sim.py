@@ -1,0 +1,8 @@
+"""C1 fixture, fixed: the collector writes only declared counters."""
+
+from .metrics import SimulationResult
+
+
+def collect(result: SimulationResult) -> SimulationResult:
+    result.cycles = 10
+    return result

@@ -1,0 +1,10 @@
+"""C1 fixture: the dead counter acknowledged (reserved for a future PR)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulationResult:
+    workload: str = ""
+    cycles: int = 0
+    dead_counter: int = 0  # simlint: disable=C1

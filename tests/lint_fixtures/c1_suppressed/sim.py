@@ -1,0 +1,9 @@
+"""C1 fixture: the dynamic-attribute store acknowledged."""
+
+from .metrics import SimulationResult
+
+
+def collect(result: SimulationResult) -> SimulationResult:
+    result.cycles = 10
+    result.cycels_total = 3  # simlint: disable=C1
+    return result

@@ -1,0 +1,10 @@
+"""C1 fixture: a result class with a counter nothing ever increments."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulationResult:
+    workload: str = ""
+    cycles: int = 0
+    dead_counter: int = 0

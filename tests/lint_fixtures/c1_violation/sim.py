@@ -1,0 +1,9 @@
+"""C1 fixture: a collector with a typo'd counter store."""
+
+from .metrics import SimulationResult
+
+
+def collect(result: SimulationResult) -> SimulationResult:
+    result.cycles = 10
+    result.cycels_total = 3
+    return result

@@ -1,0 +1,16 @@
+"""C2 fixture, fixed: derive a fresh, re-validated instance instead."""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass
+class Knobs:
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+
+    def widened(self) -> "Knobs":
+        return dataclasses.replace(self, width=self.width + 1)

@@ -1,0 +1,15 @@
+"""C2 fixture: a post-validation mutation acknowledged."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Knobs:
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+
+    def widen(self) -> None:
+        self.width += 1  # simlint: disable=C2

@@ -1,0 +1,18 @@
+"""C2 fixture: validated dataclass field mutated after __post_init__."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Knobs:
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+
+    def widen(self) -> None:
+        self.width += 1
+
+    def reset(self) -> None:
+        object.__setattr__(self, "width", 0)

@@ -1,0 +1,8 @@
+"""C3 fixture, fixed: None defaults, containers created per call."""
+
+from typing import Dict, List, Optional
+
+
+def run(jobs: Optional[List[str]] = None,
+        options: Optional[Dict[str, str]] = None):
+    return list(jobs or []), dict(options or {})

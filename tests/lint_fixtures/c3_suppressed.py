@@ -1,0 +1,5 @@
+"""C3 fixture: a shared mutable default acknowledged (module-level cache)."""
+
+
+def memoized(cache={}):  # simlint: disable=C3
+    return cache

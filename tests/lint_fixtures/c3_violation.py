@@ -1,0 +1,11 @@
+"""C3 fixture: mutable default arguments (3 violations)."""
+
+from collections import defaultdict
+
+
+def run(jobs=[], options={}):
+    return jobs, options
+
+
+def tally(counts=defaultdict(int)):
+    return counts

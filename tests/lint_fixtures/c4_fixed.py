@@ -1,0 +1,15 @@
+"""C4 fixture, fixed: narrow handlers that handle, log, or re-raise."""
+
+
+class SimulationError(Exception):
+    pass
+
+
+def guarded(step, log):
+    try:
+        step()
+    except ValueError:
+        return None
+    except SimulationError as error:
+        log(f"invariant violation: {error}")
+        raise

@@ -1,0 +1,8 @@
+"""C4 fixture: a deliberately-ignored broad handler, acknowledged."""
+
+
+def best_effort_cleanup(step):
+    try:
+        step()
+    except Exception:  # simlint: disable=C4
+        pass

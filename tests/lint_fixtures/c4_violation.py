@@ -1,0 +1,19 @@
+"""C4 fixture: bare except and a swallowed simulation error."""
+
+
+class SimulationError(Exception):
+    pass
+
+
+def guarded(step):
+    try:
+        step()
+    except:
+        return None
+
+
+def swallow(step):
+    try:
+        step()
+    except SimulationError:
+        pass

@@ -1,0 +1,8 @@
+"""C5 fixture, fixed: accumulate in a deterministic order."""
+
+
+def total_power(samples):
+    readings = set(samples)
+    direct = sum(sorted(readings))
+    scaled = sum(reading * 2.0 for reading in sorted(readings))
+    return direct + scaled

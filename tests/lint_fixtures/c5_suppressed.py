@@ -1,0 +1,6 @@
+"""C5 fixture: an integer-only set sum, acknowledged as order-safe."""
+
+
+def total_hits(ids):
+    hits = set(ids)
+    return sum(hits)  # simlint: disable=C5

@@ -1,0 +1,8 @@
+"""C5 fixture: float accumulation over unordered iterables (2 violations)."""
+
+
+def total_power(samples):
+    readings = set(samples)
+    direct = sum(readings)
+    scaled = sum(reading * 2.0 for reading in readings)
+    return direct + scaled

@@ -1,0 +1,15 @@
+"""D1 fixture, fixed: every draw comes from a seeded instance."""
+
+import random
+
+import numpy as np
+
+RNG = random.Random(1234)
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()
+
+
+def make_generator(seed: int):
+    return np.random.default_rng(seed)

@@ -1,0 +1,13 @@
+"""D1 fixture: the same draws, explicitly acknowledged."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random() + np.random.rand()  # simlint: disable=D1
+
+
+def make_generator():
+    return np.random.default_rng()  # simlint: disable=D1

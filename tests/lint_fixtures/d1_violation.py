@@ -1,0 +1,13 @@
+"""D1 fixture: module-level RNG draws (3 violations)."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random() + np.random.rand()
+
+
+def make_generator():
+    return np.random.default_rng()

@@ -1,0 +1,10 @@
+"""D2 fixture, fixed: deterministic order via sorted(); order-insensitive
+consumers (len, min, sorted) stay allowed."""
+
+
+def drain(pending):
+    ready = set(pending)
+    order = [item for item in sorted(ready)]
+    for item in sorted(ready):
+        order.append(item)
+    return len(ready), min(ready), order

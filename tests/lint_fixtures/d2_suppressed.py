@@ -1,0 +1,9 @@
+"""D2 fixture: set iteration, acknowledged (order provably irrelevant)."""
+
+
+def drain(pending):
+    ready = set(pending)
+    total = 0
+    for item in ready:  # simlint: disable=D2
+        total += item
+    return total

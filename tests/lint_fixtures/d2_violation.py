@@ -1,0 +1,9 @@
+"""D2 fixture: hash-ordered set iteration (3 violations)."""
+
+
+def drain(pending):
+    ready = set(pending)
+    order = [item for item in ready]
+    for item in ready:
+        order.append(item)
+    return list(ready), order

@@ -1,0 +1,11 @@
+"""D3 fixture, fixed: monotonic clocks for timeouts, cycles for sim time."""
+
+import time
+
+
+def elapsed(start: float) -> float:
+    return time.monotonic() - start
+
+
+def sim_timestamp(cycle: int, frequency_ghz: float) -> float:
+    return cycle / (frequency_ghz * 1e9)

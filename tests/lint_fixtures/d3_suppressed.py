@@ -1,0 +1,7 @@
+"""D3 fixture: a wall-clock read acknowledged (log decoration only)."""
+
+import time
+
+
+def log_prefix() -> float:
+    return time.time()  # simlint: disable=D3

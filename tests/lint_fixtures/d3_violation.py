@@ -1,0 +1,9 @@
+"""D3 fixture: wall-clock and OS-entropy reads (3 violations)."""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now(), os.urandom(8)

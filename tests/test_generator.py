@@ -1,8 +1,11 @@
 """Unit tests for workload generation and trace walking."""
 
+import dataclasses
+
 import pytest
 
 from repro.common.errors import WorkloadError
+from repro.common.hashing import derive_stream_seed, splitmix64
 from repro.isa.instruction import BranchKind
 from repro.workloads.generator import (
     BiasedBehavior,
@@ -153,3 +156,39 @@ class TestTraceWalk:
             # Every trip_count-th execution falls through (+- trailing partial).
             expected = total // behavior.trip_count
             assert abs(exits - expected) <= 1
+
+
+class TestSeedDerivation:
+    """Regression tests for the SplitMix64-based walk-seed derivation.
+
+    The previous scheme (``seed * 2654435761 % (1 << 32)``) mapped seed=0
+    to RNG seed 0 regardless of workload, and gave every workload sharing a
+    seed an identical walk stream.
+    """
+
+    def _pcs(self, wl, seed):
+        return [record.pc for record in wl.trace(2_000, seed=seed)]
+
+    def test_seed_zero_is_not_degenerate(self, workload):
+        assert derive_stream_seed(0, SMALL.name) != 0
+        assert self._pcs(workload, 0) != self._pcs(workload, 1)
+
+    def test_distinct_seeds_give_distinct_streams(self, workload):
+        streams = {tuple(self._pcs(workload, seed)) for seed in range(8)}
+        assert len(streams) == 8
+
+    def test_same_seed_is_reproducible(self, workload):
+        assert self._pcs(workload, 4) == self._pcs(workload, 4)
+
+    def test_stream_is_salted_by_workload_name(self):
+        renamed = dataclasses.replace(SMALL, name="small-test-b")
+        assert derive_stream_seed(11, SMALL.name) != \
+            derive_stream_seed(11, renamed.name)
+
+    def test_splitmix64_is_bijective_on_sample(self):
+        outputs = {splitmix64(value) for value in range(4096)}
+        assert len(outputs) == 4096
+
+    def test_splitmix64_stays_in_64_bits(self):
+        for value in (0, 1, 2**63, 2**64 - 1, 2**80):
+            assert 0 <= splitmix64(value) < 2**64

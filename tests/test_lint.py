@@ -1,0 +1,331 @@
+"""Tests for the simlint static analyzer (engine, rules, baseline, CLI).
+
+Each rule gets a positive / suppressed / fixed fixture triple under
+``tests/lint_fixtures/``; the engine tests cover suppression mechanics,
+scoping, parse errors, and the baseline lifecycle; the CLI tests pin the
+exit-code contract CI relies on, including that the committed repository
+tree lints clean against the committed baseline.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    Finding,
+    LintEngine,
+    LintError,
+    Severity,
+    all_rules,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+EXPECTED_RULES = {"C1", "C2", "C3", "C4", "C5", "D1", "D2", "D3"}
+
+
+def run_fixture(*names, ignore_scope=True, root=FIXTURES):
+    engine = LintEngine(root=root, rules=all_rules(),
+                        ignore_scope=ignore_scope)
+    return engine.run([FIXTURES / name for name in names])
+
+
+def rules_of(report):
+    return [finding.rule for finding in report.findings]
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        assert {rule.id for rule in all_rules()} == EXPECTED_RULES
+
+    def test_rules_have_metadata(self):
+        for rule in all_rules():
+            assert rule.title, rule.id
+            assert rule.rationale, rule.id
+
+
+class TestD1UnseededRandom:
+    def test_violation(self):
+        report = run_fixture("d1_violation.py")
+        assert rules_of(report) == ["D1", "D1", "D1"]
+
+    def test_suppressed(self):
+        report = run_fixture("d1_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 3
+
+    def test_fixed(self):
+        report = run_fixture("d1_fixed.py")
+        assert report.findings == []
+
+
+class TestD2SetIteration:
+    def test_violation(self):
+        report = run_fixture("d2_violation.py")
+        assert rules_of(report) == ["D2", "D2", "D2"]
+
+    def test_suppressed(self):
+        report = run_fixture("d2_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_fixed(self):
+        report = run_fixture("d2_fixed.py")
+        assert report.findings == []
+
+    def test_scope_respected(self):
+        """D2 only applies to simulation packages; the fixture sits outside
+        them, so a scope-respecting run reports nothing."""
+        report = run_fixture("d2_violation.py", ignore_scope=False)
+        assert report.findings == []
+
+
+class TestD3WallClock:
+    def test_violation(self):
+        report = run_fixture("d3_violation.py")
+        assert rules_of(report) == ["D3", "D3", "D3"]
+
+    def test_suppressed(self):
+        report = run_fixture("d3_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_fixed(self):
+        """time.monotonic stays allowed (runner timeouts)."""
+        report = run_fixture("d3_fixed.py")
+        assert report.findings == []
+
+
+class TestC1MetricsCrossCheck:
+    def test_violation(self):
+        report = run_fixture("c1_violation")
+        assert rules_of(report) == ["C1", "C1"]
+        messages = " | ".join(f.message for f in report.findings)
+        assert "dead_counter" in messages          # registered, never written
+        assert "cycels_total" in messages          # written, never registered
+
+    def test_suppressed(self):
+        report = run_fixture("c1_suppressed")
+        assert report.findings == []
+        assert report.suppressed == 2
+
+    def test_fixed(self):
+        report = run_fixture("c1_fixed")
+        assert report.findings == []
+
+
+class TestC2PostInitMutation:
+    def test_violation(self):
+        report = run_fixture("c2_violation.py")
+        assert rules_of(report) == ["C2", "C2"]
+
+    def test_suppressed(self):
+        report = run_fixture("c2_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_fixed(self):
+        report = run_fixture("c2_fixed.py")
+        assert report.findings == []
+
+
+class TestC3MutableDefault:
+    def test_violation(self):
+        report = run_fixture("c3_violation.py")
+        assert rules_of(report) == ["C3", "C3", "C3"]
+
+    def test_suppressed(self):
+        report = run_fixture("c3_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_fixed(self):
+        report = run_fixture("c3_fixed.py")
+        assert report.findings == []
+
+
+class TestC4ExceptionHygiene:
+    def test_violation(self):
+        report = run_fixture("c4_violation.py")
+        assert rules_of(report) == ["C4", "C4"]
+
+    def test_suppressed(self):
+        report = run_fixture("c4_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_fixed(self):
+        report = run_fixture("c4_fixed.py")
+        assert report.findings == []
+
+
+class TestC5UnorderedSum:
+    def test_violation(self):
+        report = run_fixture("c5_violation.py")
+        assert rules_of(report) == ["C5", "C5"]
+
+    def test_suppressed(self):
+        report = run_fixture("c5_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_fixed(self):
+        report = run_fixture("c5_fixed.py")
+        assert report.findings == []
+
+
+class TestEngine:
+    def test_missing_path_raises(self):
+        engine = LintEngine(root=FIXTURES)
+        with pytest.raises(LintError):
+            engine.run([FIXTURES / "no_such_file.py"])
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = LintEngine(root=tmp_path).run([bad])
+        assert rules_of(report) == ["E000"]
+        assert report.parse_errors == 1
+
+    def test_file_level_suppression(self, tmp_path):
+        source = ("# simlint: disable-file=C3\n"
+                  "def run(jobs=[]):\n"
+                  "    return jobs\n")
+        target = tmp_path / "mod.py"
+        target.write_text(source)
+        report = LintEngine(root=tmp_path,
+                            ignore_scope=True).run([target])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_blanket_line_suppression(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("def run(jobs=[]):  # simlint: disable\n"
+                          "    return jobs\n")
+        report = LintEngine(root=tmp_path, ignore_scope=True).run([target])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_findings_sorted_and_relative(self):
+        report = run_fixture("d1_violation.py", "c3_violation.py")
+        assert report.findings == sorted(report.findings,
+                                         key=Finding.sort_key)
+        for finding in report.findings:
+            assert not Path(finding.path).is_absolute()
+
+    def test_directory_collection_deduplicates(self):
+        engine = LintEngine(root=FIXTURES, ignore_scope=True)
+        files = engine.collect_files([FIXTURES / "c1_violation",
+                                      FIXTURES / "c1_violation" / "sim.py"])
+        assert len(files) == len(set(files)) == 2
+
+
+class TestBaseline:
+    FINDING = Finding(rule="C3", path="mod.py", line=3, col=0,
+                      message="mutable default", severity=Severity.ERROR)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.FINDING, self.FINDING])
+        assert load_baseline(path) == {self.FINDING.fingerprint: 2}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "none.json") == {}
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(LintError):
+            load_baseline(path)
+
+    def test_apply_counts_and_stale(self):
+        moved = Finding(rule="C3", path="mod.py", line=9, col=0,
+                        message="mutable default")
+        other = Finding(rule="D1", path="mod.py", line=1, col=0,
+                        message="unseeded")
+        split = apply_baseline([self.FINDING, moved, other],
+                               {self.FINDING.fingerprint: 1,
+                                "D9::gone.py::fixed long ago": 1})
+        # Line moves don't defeat the baseline; only one of the two equal
+        # fingerprints is acknowledged, the rest are new.
+        assert len(split.baselined) == 1
+        assert {f.rule for f in split.new} == {"C3", "D1"}
+        assert split.stale == ["D9::gone.py::fixed long ago"]
+
+
+class TestCli:
+    def test_violation_exits_nonzero(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "c3_violation.py"),
+                         "--no-baseline", "--ignore-scope"])
+        assert code == 1
+        assert "[C3]" in capsys.readouterr().out
+
+    def test_fixed_exits_zero(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "c3_fixed.py"),
+                         "--no-baseline"])
+        assert code == 0
+
+    def test_json_output(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "d1_violation.py"),
+                         "--no-baseline", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert {f["rule"] for f in payload["findings"]} == {"D1"}
+
+    def test_write_then_pass(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        violation = str(FIXTURES / "c3_violation.py")
+        assert cli_main(["lint", violation, "--ignore-scope",
+                         "--write-baseline", "--baseline",
+                         str(baseline)]) == 0
+        assert cli_main(["lint", violation, "--ignore-scope",
+                         "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_stale_baseline_strict(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [TestBaseline.FINDING])
+        clean = str(FIXTURES / "c3_fixed.py")
+        assert cli_main(["lint", clean, "--baseline", str(baseline)]) == 0
+        assert cli_main(["lint", clean, "--baseline", str(baseline),
+                         "--strict-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in out
+
+    def test_bad_path_exits_two(self, capsys):
+        assert cli_main(["lint", "does/not/exist", "--no-baseline"]) == 2
+        capsys.readouterr()
+
+    def test_repo_tree_lints_clean(self, monkeypatch, capsys):
+        """The committed tree must pass ``python -m repro lint src`` against
+        the committed baseline — the exact invocation the CI lint job runs."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert cli_main(["lint", "src"]) == 0
+        capsys.readouterr()
+
+    def test_repo_baseline_is_near_empty(self):
+        """The committed baseline must not quietly accumulate debt."""
+        baseline = load_baseline(REPO_ROOT / ".simlint-baseline.json")
+        assert sum(baseline.values()) <= 5
+
+    def test_injected_violation_fails_repo_run(self, monkeypatch, capsys,
+                                               tmp_path):
+        """Dropping any violating fixture into the linted tree flips the
+        repo-level invocation to a non-zero exit."""
+        monkeypatch.chdir(REPO_ROOT)
+        injected = tmp_path / "injected.py"
+        injected.write_text((FIXTURES / "c3_violation.py").read_text())
+        assert cli_main(["lint", "src", str(injected)]) == 1
+        capsys.readouterr()

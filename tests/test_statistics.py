@@ -1,9 +1,11 @@
 """Unit tests for the statistics primitives."""
 
 import math
+import warnings
 
 import pytest
 
+from repro.common.errors import ReproWarning
 from repro.common.statistics import (
     Counter,
     Histogram,
@@ -141,8 +143,22 @@ class TestHelpers:
     def test_geometric_mean_zero_value_is_zero(self):
         # Regression: a zero mid-aggregation used to raise ValueError and
         # kill the whole sweep report; it is the limit of the product.
-        assert geometric_mean([1.0, 0.0]) == 0.0
-        assert geometric_mean([0.0]) == 0.0
+        with pytest.warns(ReproWarning):
+            assert geometric_mean([1.0, 0.0]) == 0.0
+        with pytest.warns(ReproWarning):
+            assert geometric_mean([0.0]) == 0.0
+
+    def test_geometric_mean_zero_warning_names_count(self):
+        # Zeros usually mean a metric never fired (quarantined job, dead
+        # counter); the warning must say how many so the sweep log is
+        # actionable.
+        with pytest.warns(ReproWarning, match=r"2 zero\(s\)"):
+            geometric_mean([0.0, 3.0, 0.0])
+
+    def test_geometric_mean_positive_values_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
 
     def test_geometric_mean_rejects_negative(self):
         with pytest.raises(ValueError):
