@@ -19,10 +19,12 @@ Environment knobs:
 """
 
 import os
+import warnings
 from pathlib import Path
 
 import pytest
 
+from repro.common.errors import ReproWarning
 from repro.core.experiment import (
     CAPACITY_SWEEP,
     POLICY_LABELS,
@@ -39,6 +41,14 @@ _names = os.environ.get("REPRO_BENCH_WORKLOADS", "")
 BENCH_WORKLOADS = tuple(
     name.strip() for name in _names.split(",") if name.strip()) or \
     WORKLOAD_NAMES
+
+def pytest_configure(config):
+    # A ReproWarning mid-benchmark (e.g. geometric_mean over a zero because a
+    # job was quarantined) means the printed figure is suspect.  Force every
+    # occurrence to surface in the warnings summary — never deduplicated,
+    # never swallowed by an "ignore" filter inherited from the environment.
+    warnings.simplefilter("always", ReproWarning)
+
 
 _sweep_cache = {}
 

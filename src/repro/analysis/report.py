@@ -79,4 +79,9 @@ def render_result(result: SimulationResult,
     lines.append("memory")
     row("L1-I hit rate", result.l1i_hit_rate, "{:.3f}")
     row("L1-D hit rate", result.l1d_hit_rate, "{:.3f}")
+
+    if result.telemetry_events:
+        lines.append("telemetry (events emitted)")
+        for kind in sorted(result.telemetry_events):
+            row(kind, result.telemetry_events[kind], "{:.0f}")
     return "\n".join(lines)

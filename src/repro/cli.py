@@ -3,6 +3,7 @@
 Commands:
 
 - ``run``            simulate one workload under one design
+- ``trace``          run with telemetry and export a Chrome/JSONL trace
 - ``smt``            co-run two+ workloads on a shared uop cache
 - ``sweep-capacity`` the paper's Fig. 3/4 capacity sweep
 - ``sweep-policy``   the paper's Fig. 15-17 design comparison
@@ -22,7 +23,7 @@ from typing import List, Optional, Sequence
 from .analysis.charts import render_grouped_bars
 from .analysis.report import render_result
 from .analysis.tables import render_table, render_table1, render_table2
-from .common.config import SimulatorConfig
+from .common.config import SimulatorConfig, TelemetryConfig
 from .core.experiment import (
     CAPACITY_SWEEP,
     DEFAULT_SEED,
@@ -32,10 +33,17 @@ from .core.experiment import (
     run_policy_sweep,
     workload_trace,
 )
+from .common.errors import ConfigError
 from .core.simulator import Simulator
 from .lint.cli import add_lint_arguments, run_lint
 from .runner.executor import RunnerConfig
 from .core.smt import simulate_smt
+from .telemetry import (
+    EVENT_CATEGORIES,
+    ChromeTraceSink,
+    JsonlSink,
+    TelemetryHub,
+)
 from .workloads.suite import (
     PAPER_BRANCH_MPKI,
     WORKLOAD_NAMES,
@@ -83,6 +91,9 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="resume from the checkpoint journal, "
                              "re-running only missing jobs")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="count telemetry events per job (journaled "
+                             "in the checkpoint results)")
 
 
 def _runner_from_args(args) -> RunnerConfig:
@@ -113,6 +124,40 @@ def _cmd_run(args) -> int:
             warmup_instructions=args.warmup)
         baseline = Simulator(trace, base_config, "baseline").run()
     print(render_result(result, baseline))
+    return 0
+
+
+def _parse_event_categories(value: str) -> Sequence[str]:
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    for name in names:
+        if name not in EVENT_CATEGORIES:
+            raise ConfigError(
+                f"unknown event category {name!r}; "
+                f"choose from {', '.join(EVENT_CATEGORIES)}")
+    return tuple(names) or EVENT_CATEGORIES
+
+
+def _cmd_trace(args) -> int:
+    categories = _parse_event_categories(args.events)
+    trace = workload_trace(args.workload, args.instructions, seed=args.seed)
+    config = dataclasses.replace(
+        _build_config(args),
+        telemetry=TelemetryConfig(enabled=True, events=tuple(categories),
+                                  interval_cycles=args.interval))
+    hub = TelemetryHub.from_config(config.telemetry)
+    if args.format == "chrome":
+        hub.add_sink(ChromeTraceSink(args.out))
+    else:
+        hub.add_sink(JsonlSink(args.out))
+    result = Simulator(trace, config, args.design, telemetry=hub).run()
+    hub.close()
+    print(render_result(result))
+    print()
+    total = sum(hub.summary().values())
+    print(f"telemetry: {total} events "
+          f"({', '.join(sorted(categories))}) -> {args.out}")
+    for kind, count in sorted(hub.summary().items()):
+        print(f"  {kind:<18s} {count}")
     return 0
 
 
@@ -148,6 +193,7 @@ def _cmd_sweep_capacity(args) -> int:
         num_instructions=args.instructions,
         warmup_instructions=args.warmup,
         seed=args.seed, runner=_runner_from_args(args),
+        telemetry=args.telemetry,
         progress=(lambda line: print("  " + line, file=sys.stderr))
         if args.verbose else None)
     print(render_table(
@@ -174,6 +220,7 @@ def _cmd_sweep_policy(args) -> int:
         num_instructions=args.instructions,
         warmup_instructions=args.warmup,
         seed=args.seed, runner=_runner_from_args(args),
+        telemetry=args.telemetry,
         progress=(lambda line: print("  " + line, file=sys.stderr))
         if args.verbose else None)
     improvement = sweep.improvement_percent(lambda r: r.upc, "baseline",
@@ -233,6 +280,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--compare-baseline", action="store_true",
                             help="also run the baseline and show deltas")
     run_parser.set_defaults(func=_cmd_run)
+
+    trace_parser = commands.add_parser(
+        "trace", help="run with telemetry, export Chrome/JSONL trace")
+    trace_parser.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    _add_common(trace_parser)
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="output path (default: trace.json)")
+    trace_parser.add_argument("--format", default="chrome",
+                              choices=("chrome", "jsonl"),
+                              help="chrome trace_event JSON (Perfetto) or "
+                                   "JSONL event log (default: chrome)")
+    trace_parser.add_argument("--events",
+                              default=",".join(EVENT_CATEGORIES),
+                              help="comma-separated event categories "
+                                   f"(default: {','.join(EVENT_CATEGORIES)})")
+    trace_parser.add_argument("--interval", type=int, default=1024,
+                              help="throughput sample width in cycles "
+                                   "(default: 1024)")
+    trace_parser.set_defaults(func=_cmd_trace)
 
     smt_parser = commands.add_parser(
         "smt", help="co-run 2+ workloads on a shared uop cache")

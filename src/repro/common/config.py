@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from .errors import ConfigError
 
@@ -243,6 +243,42 @@ class MemoryHierarchyConfig:
                  "I-cache fetch bandwidth must be >= 1 byte/cycle")
 
 
+#: Event categories selectable in :class:`TelemetryConfig.events` (must match
+#: ``repro.telemetry.events.EVENT_CATEGORIES``; duplicated here so config
+#: stays import-light and validates without pulling in the telemetry package).
+TELEMETRY_EVENT_CATEGORIES: Tuple[str, ...] = (
+    "fetch", "uopcache", "loopcache", "interval")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Structured event tracing (see :mod:`repro.telemetry`).
+
+    Disabled by default: a disabled run constructs no hub at all, so the
+    simulator's hot paths pay only a ``None`` test per serving action.
+    """
+
+    enabled: bool = False
+    #: Event categories to record (subset of TELEMETRY_EVENT_CATEGORIES).
+    events: Tuple[str, ...] = TELEMETRY_EVENT_CATEGORIES
+    #: Width of the per-interval IPC/UPC sampling windows, in cycles.
+    interval_cycles: int = 1024
+    #: Default capacity of in-memory ring-buffer sinks.
+    ring_buffer_capacity: int = 65536
+
+    def __post_init__(self) -> None:
+        _require(len(self.events) > 0,
+                 "telemetry needs at least one event category")
+        for category in self.events:
+            _require(category in TELEMETRY_EVENT_CATEGORIES,
+                     f"unknown telemetry event category {category!r} "
+                     f"(valid: {', '.join(TELEMETRY_EVENT_CATEGORIES)})")
+        _require(self.interval_cycles >= 1,
+                 "telemetry interval must be >= 1 cycle")
+        _require(self.ring_buffer_capacity >= 1,
+                 "telemetry ring buffer must hold >= 1 event")
+
+
 @dataclass(frozen=True)
 class PowerConfig:
     """Decoder energy model (normalized reporting, Section IV-A)."""
@@ -268,6 +304,7 @@ class SimulatorConfig:
     branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
     memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
     power: PowerConfig = field(default_factory=PowerConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     warmup_instructions: int = 0
     max_instructions: Optional[int] = None
 

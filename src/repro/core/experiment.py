@@ -226,14 +226,18 @@ def run_capacity_sweep(
         progress: Optional[Callable[[str], None]] = None,
         seed: int = DEFAULT_SEED,
         runner: Optional[RunnerConfig] = None,
-        fault_plan: Optional[FaultPlan] = None) -> SweepResult:
+        fault_plan: Optional[FaultPlan] = None,
+        telemetry: bool = False) -> SweepResult:
     """Fig. 3/4: baseline uop cache at each capacity, per workload.
 
     ``runner`` selects the execution policy (parallelism, timeouts, retries,
     checkpoint/resume); the default is the serial in-process degenerate case.
+    ``telemetry`` enables per-kind event counting in every job, journaled
+    through ``SimulationResult.telemetry_events``.
     """
     jobs = build_capacity_jobs(workloads, capacities, num_instructions,
-                               warmup_instructions, seed)
+                               warmup_instructions, seed,
+                               telemetry=telemetry)
     return _run_jobs(
         jobs, runner, fault_plan, progress,
         lambda r: f"{r.workload} {r.config_label}: upc={r.upc:.3f}")
@@ -249,11 +253,13 @@ def run_policy_sweep(
         progress: Optional[Callable[[str], None]] = None,
         seed: int = DEFAULT_SEED,
         runner: Optional[RunnerConfig] = None,
-        fault_plan: Optional[FaultPlan] = None) -> SweepResult:
+        fault_plan: Optional[FaultPlan] = None,
+        telemetry: bool = False) -> SweepResult:
     """Figs. 15-22: the paper's five designs at a fixed capacity."""
     jobs = build_policy_jobs(workloads, labels, capacity_uops,
                              max_entries_per_line, num_instructions,
-                             warmup_instructions, seed)
+                             warmup_instructions, seed,
+                             telemetry=telemetry)
     return _run_jobs(
         jobs, runner, fault_plan, progress,
         lambda r: (f"{r.workload} {r.config_label}: upc={r.upc:.3f} "

@@ -54,6 +54,10 @@ class SimulationResult:
     # Memory system.
     l1i_hit_rate: float = 0.0
     l1d_hit_rate: float = 0.0
+    # Telemetry: events emitted per kind over the full run (empty when the
+    # run had telemetry disabled).  Rides through to_dict/from_dict so sweep
+    # checkpoints journal the event accounting alongside the counters.
+    telemetry_events: Dict[str, int] = field(default_factory=dict)
 
     # -- derived metrics (the paper's reported quantities) -------------------
 
@@ -148,6 +152,7 @@ class SimulationResult:
             } if self.decoder_report else None),
             "l1i_hit_rate": self.l1i_hit_rate,
             "l1d_hit_rate": self.l1d_hit_rate,
+            "telemetry_events": dict(self.telemetry_events),
         }
 
     @classmethod
@@ -179,6 +184,7 @@ class SimulationResult:
         result.fill_kind_counts = {
             FillKind(value): count
             for value, count in data.get("fill_kind_counts", {}).items()}
+        result.telemetry_events = dict(data.get("telemetry_events", {}))
         if data.get("decoder_report") is not None:
             report = data["decoder_report"]
             result.decoder_report = DecoderEnergyReport(

@@ -41,6 +41,9 @@ from ..common.statistics import Histogram
 from ..frontend.loopcache import LoopCache
 from ..isa.uop import UopKind
 from ..power.decoder import DecoderPowerModel
+from ..telemetry.events import EventKind
+from ..telemetry.hub import TelemetryHub
+from ..telemetry.interval import IntervalTracker
 from ..uopcache.builder import AccumulationBuffer
 from ..uopcache.cache import UopCache
 from ..workloads.trace import Trace
@@ -65,7 +68,8 @@ class Simulator:
                  shared_uop_cache: Optional[UopCache] = None,
                  shared_hierarchy: Optional[MemoryHierarchy] = None,
                  shared_decoder_power: Optional[DecoderPowerModel] = None,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         """``shared_*`` lets several simulators (SMT hardware threads) share
         structures; see :class:`repro.core.smt.SmtSimulator`.
 
@@ -75,6 +79,12 @@ class Simulator:
         and at collection, raising :class:`SimulationError` with diagnostic
         context on any inconsistency.  Long-running sweeps use it so a
         corrupted simulation fails loudly instead of producing bad numbers.
+
+        ``telemetry`` attaches a :class:`TelemetryHub` explicitly (the SMT
+        coordinator shares one hub across threads); when omitted, a hub is
+        built iff ``config.telemetry.enabled``.  Without either, every
+        instrumented structure holds ``None`` and the hot paths pay one
+        ``is not None`` test per serving action.
         """
         self.trace = trace
         self.config = config or SimulatorConfig()
@@ -82,13 +92,21 @@ class Simulator:
         self.config_label = config_label or self._default_label()
         line_bytes = cfg.memory.l1i.line_bytes
 
+        if telemetry is None and cfg.telemetry.enabled:
+            telemetry = TelemetryHub.from_config(cfg.telemetry)
+        self.telemetry = telemetry
+        #: Chrome-trace thread id; the SMT coordinator renumbers its threads.
+        self.telemetry_tid = 0
+
         self.hierarchy = shared_hierarchy or MemoryHierarchy(cfg.memory)
         self.uop_cache = shared_uop_cache or \
-            UopCache(cfg.uop_cache, icache_line_bytes=line_bytes)
+            UopCache(cfg.uop_cache, icache_line_bytes=line_bytes,
+                     telemetry=telemetry)
         self.accumulator = AccumulationBuffer(cfg.uop_cache,
-                                              icache_line_bytes=line_bytes)
+                                              icache_line_bytes=line_bytes,
+                                              telemetry=telemetry)
         self.bpu = BranchPredictionUnit(cfg.branch)
-        self.loop_cache = LoopCache(cfg.loop_cache)
+        self.loop_cache = LoopCache(cfg.loop_cache, telemetry=telemetry)
         self.backend = OutOfOrderBackend(cfg.core, self.hierarchy)
         self.decoder_power = shared_decoder_power or \
             DecoderPowerModel(cfg.power)
@@ -122,6 +140,12 @@ class Simulator:
         self._max_fe_cycle = 0
         self._max_backend_cycle = 0
         self._fetch_actions = 0
+        # Telemetry bookkeeping (all unused when self.telemetry is None).
+        self._interval = IntervalTracker(telemetry,
+                                         cfg.telemetry.interval_cycles) \
+            if telemetry is not None else None
+        self._last_fetch_source: Optional[str] = None
+        self._last_fe_cycle = 0
 
     def _default_label(self) -> str:
         oc = self.config.uop_cache
@@ -162,6 +186,8 @@ class Simulator:
         windows = self.pw_builder.windows()
         pw = next(windows)
         warmup = cfg.warmup_instructions
+        tel = self.telemetry
+        tel_insts = tel_uops = 0
 
         while cursor < limit:
             if warmup and self._warmup_snapshot is None and \
@@ -184,6 +210,11 @@ class Simulator:
                 self._pw_entry_count = 0
             entries_this_pw = 0
             pc = records[cursor].pc
+            if tel is not None:
+                tel.cycle = fe_cycle
+                tel_insts = self._instructions_done
+                tel_uops = (self._uops_from_oc + self._uops_from_ic +
+                            self._uops_from_loop)
 
             if self.loop_cache.active and \
                     pc == self.loop_cache.active_target:
@@ -192,6 +223,9 @@ class Simulator:
                 if redirect > fe_cycle:
                     self.fe_cycles_redirect += redirect - fe_cycle
                     fe_cycle = redirect
+                if tel is not None:
+                    self._emit_fetch_action(tel, "loop", tel_uops, tel_insts,
+                                            fe_cycle)
                 if self.strict:
                     self._observe_fetch_action(fe_cycle)
                 yield fe_cycle
@@ -219,6 +253,10 @@ class Simulator:
             if redirect > fe_cycle:
                 self.fe_cycles_redirect += redirect - fe_cycle
                 fe_cycle = redirect
+            if tel is not None:
+                self._emit_fetch_action(
+                    tel, "oc" if entry is not None else "ic",
+                    tel_uops, tel_insts, fe_cycle)
             if self.strict:
                 self._observe_fetch_action(fe_cycle)
             yield fe_cycle
@@ -230,7 +268,33 @@ class Simulator:
             self._pw_entry_count = 0
         if self.strict:
             self.check_invariants()
+        if self._interval is not None:
+            self.telemetry.cycle = self._last_fe_cycle
+            self._interval.finish(self._last_fe_cycle)
         return self._collect(self.backend.last_cycle)
+
+    # ----------------------------------------------------------- telemetry
+
+    def _emit_fetch_action(self, tel: TelemetryHub, source: str,
+                           uops_before: int, insts_before: int,
+                           fe_cycle: int) -> None:
+        """Emit the fetch-source events for one completed serving action."""
+        uops_total = (self._uops_from_oc + self._uops_from_ic +
+                      self._uops_from_loop)
+        if source != self._last_fetch_source:
+            if self._last_fetch_source is not None:
+                tel.emit(EventKind.FETCH_TRANSITION,
+                         src=self._last_fetch_source, dst=source,
+                         tid=self.telemetry_tid)
+            self._last_fetch_source = source
+        tel.emit(EventKind.FETCH_ACTION, source=source,
+                 uops=uops_total - uops_before,
+                 insts=self._instructions_done - insts_before,
+                 tid=self.telemetry_tid)
+        self._last_fe_cycle = fe_cycle
+        if self._interval is not None:
+            self._interval.update(fe_cycle, self._instructions_done,
+                                  uops_total)
 
     # ---------------------------------------------------- invariant checking
 
@@ -578,6 +642,10 @@ class Simulator:
         result.decoder_report = measured_power.report(result.cycles)
         result.l1i_hit_rate = self.hierarchy.l1i.hit_rate
         result.l1d_hit_rate = self.hierarchy.l1d.hit_rate
+        if self.telemetry is not None:
+            # Full-run event counts (telemetry streams are never warmup-
+            # adjusted; see repro.telemetry.replay for the implications).
+            result.telemetry_events = self.telemetry.summary()
         return result
 
 

@@ -30,6 +30,7 @@ from ..common.config import SimulatorConfig
 from ..common.errors import SimulationError
 from ..common.statistics import ratio
 from ..power.decoder import DecoderPowerModel
+from ..telemetry.hub import TelemetryHub
 from ..uopcache.cache import UopCache
 from ..workloads.trace import Trace
 from .metrics import SimulationResult
@@ -77,15 +78,24 @@ class SmtSimulator:
 
     def __init__(self, traces: Sequence[Trace],
                  config: Optional[SimulatorConfig] = None,
-                 config_label: str = "smt") -> None:
+                 config_label: str = "smt",
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         if len(traces) < 2:
             raise SimulationError("SMT simulation needs at least two threads")
         self.config = config or SimulatorConfig()
         self.config_label = config_label
         line_bytes = self.config.memory.l1i.line_bytes
 
+        # One hub is shared by every thread and by the shared structures, so
+        # the merged stream is ordered exactly as the coordinator interleaved
+        # the threads; per-thread events carry a ``tid`` for the trace view.
+        if telemetry is None and self.config.telemetry.enabled:
+            telemetry = TelemetryHub.from_config(self.config.telemetry)
+        self.telemetry = telemetry
+
         self.uop_cache = UopCache(self.config.uop_cache,
-                                  icache_line_bytes=line_bytes)
+                                  icache_line_bytes=line_bytes,
+                                  telemetry=telemetry)
         self.hierarchy = MemoryHierarchy(self.config.memory)
         self.decoder_power = DecoderPowerModel(self.config.power)
         self.threads = [
@@ -93,8 +103,13 @@ class SmtSimulator:
                       config_label=f"{config_label}/t{index}",
                       shared_uop_cache=self.uop_cache,
                       shared_hierarchy=self.hierarchy,
-                      shared_decoder_power=self.decoder_power)
+                      shared_decoder_power=self.decoder_power,
+                      telemetry=telemetry)
             for index, trace in enumerate(traces)]
+        for index, thread in enumerate(self.threads):
+            thread.telemetry_tid = index
+            if thread._interval is not None:
+                thread._interval.tid = index
 
     def run(self) -> SmtResult:
         """Advance the thread with the earliest front-end cycle until all

@@ -19,6 +19,8 @@ from typing import Dict, Optional
 
 from ..common.config import LoopCacheConfig
 from ..common.statistics import StatGroup
+from ..telemetry.events import EventKind
+from ..telemetry.hub import TelemetryHub
 
 
 @dataclass(frozen=True)
@@ -30,8 +32,10 @@ class _LoopKey:
 class LoopCache:
     """Detects and locks onto short backward loops."""
 
-    def __init__(self, config: Optional[LoopCacheConfig] = None) -> None:
+    def __init__(self, config: Optional[LoopCacheConfig] = None,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self.config = config or LoopCacheConfig()
+        self._telemetry = telemetry
         self._streak: Dict[_LoopKey, int] = {}
         self._active: Optional[_LoopKey] = None
         self._active_uops = 0
@@ -69,6 +73,9 @@ class LoopCache:
         key = _LoopKey(branch_pc, target_pc)
         if self._active == key:
             self._uops_served.increment(body_uops)
+            if self._telemetry is not None:
+                self._telemetry.emit(EventKind.LOOP_REPLAY,
+                                     branch_pc=branch_pc, uops=body_uops)
             return True
         # A different taken branch means control flow left any locked loop.
         self._note_exit()
@@ -82,6 +89,11 @@ class LoopCache:
             self._active_uops = body_uops
             self._captures.increment()
             self._uops_served.increment(body_uops)
+            if self._telemetry is not None:
+                self._telemetry.emit(EventKind.LOOP_CAPTURE,
+                                     branch_pc=branch_pc,
+                                     target_pc=target_pc,
+                                     body_uops=body_uops)
             return True
         return False
 
@@ -95,6 +107,9 @@ class LoopCache:
     def _note_exit(self) -> None:
         if self._active is not None:
             self._exits.increment()
+            if self._telemetry is not None:
+                self._telemetry.emit(EventKind.LOOP_EXIT,
+                                     branch_pc=self._active.branch_pc)
             self._active = None
             self._active_uops = 0
 

@@ -14,7 +14,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from ..common.config import baseline_config
+from ..common.config import TelemetryConfig, baseline_config
 from ..common.errors import RunnerError
 from ..core.metrics import SimulationResult
 
@@ -35,6 +35,9 @@ class SweepJob:
     num_instructions: int = 120_000
     warmup_instructions: int = 0
     seed: int = 7
+    #: Count telemetry events during the run; the per-kind totals land in
+    #: ``SimulationResult.telemetry_events`` and hence the checkpoint journal.
+    telemetry: bool = False
 
     @property
     def job_id(self) -> str:
@@ -51,12 +54,14 @@ def build_capacity_jobs(workloads: Sequence[str],
                         capacities: Sequence[int],
                         num_instructions: int,
                         warmup_instructions: int = 0,
-                        seed: int = 7) -> List[SweepJob]:
+                        seed: int = 7,
+                        telemetry: bool = False) -> List[SweepJob]:
     """Jobs of a Fig. 3/4 capacity sweep, in canonical (workload-major) order."""
     return [SweepJob(workload=name, label=capacity_label(capacity),
                      kind=KIND_CAPACITY, capacity_uops=capacity,
                      num_instructions=num_instructions,
-                     warmup_instructions=warmup_instructions, seed=seed)
+                     warmup_instructions=warmup_instructions, seed=seed,
+                     telemetry=telemetry)
             for name in workloads for capacity in capacities]
 
 
@@ -66,13 +71,15 @@ def build_policy_jobs(workloads: Sequence[str],
                       max_entries_per_line: int,
                       num_instructions: int,
                       warmup_instructions: int = 0,
-                      seed: int = 7) -> List[SweepJob]:
+                      seed: int = 7,
+                      telemetry: bool = False) -> List[SweepJob]:
     """Jobs of a Fig. 15-22 policy sweep, in canonical order."""
     return [SweepJob(workload=name, label=label, kind=KIND_POLICY,
                      capacity_uops=capacity_uops,
                      max_entries_per_line=max_entries_per_line,
                      num_instructions=num_instructions,
-                     warmup_instructions=warmup_instructions, seed=seed)
+                     warmup_instructions=warmup_instructions, seed=seed,
+                     telemetry=telemetry)
             for name in workloads for label in labels]
 
 
@@ -97,5 +104,8 @@ def execute_job(job: SweepJob, strict: bool = True) -> SimulationResult:
         raise RunnerError(f"unknown job kind {job.kind!r} for {job.job_id}")
     config = dataclasses.replace(
         config, warmup_instructions=job.warmup_instructions)
+    if job.telemetry:
+        config = dataclasses.replace(
+            config, telemetry=TelemetryConfig(enabled=True))
     trace = workload_trace(job.workload, job.num_instructions, seed=job.seed)
     return Simulator(trace, config, job.label, strict=strict).run()

@@ -1,0 +1,58 @@
+"""Cycle-level telemetry: structured event tracing for every serving path.
+
+The subsystem has four pieces (DESIGN.md section 10):
+
+- :mod:`~repro.telemetry.events` — the typed event taxonomy;
+- :mod:`~repro.telemetry.hub` — the emission bus instrumented structures
+  talk to (zero overhead when disabled: disabled code paths hold ``None``);
+- :mod:`~repro.telemetry.sinks` — ring buffer, JSONL, aggregate counters,
+  and Chrome ``trace_event`` export (Perfetto-loadable);
+- :mod:`~repro.telemetry.replay` — folds an event stream back into the
+  aggregate counters and cross-checks them against
+  :class:`~repro.core.metrics.SimulationResult`.
+
+Quick start::
+
+    hub = TelemetryHub()
+    ring = hub.add_sink(RingBufferSink(capacity=None))
+    result = Simulator(trace, config, telemetry=hub).run()
+    crosscheck(ring.events, result)     # raises TelemetryMismatch on desync
+
+or from the command line::
+
+    python -m repro trace bm-x64 --out trace.json --events uopcache,fetch
+"""
+
+from .events import (
+    EVENT_CATEGORIES,
+    KIND_CATEGORY,
+    EventKind,
+    TelemetryEvent,
+)
+from .hub import TelemetryHub
+from .interval import IntervalTracker
+from .replay import TelemetryMismatch, crosscheck, replay_counters
+from .sinks import (
+    ChromeTraceSink,
+    CounterSink,
+    JsonlSink,
+    RingBufferSink,
+    TelemetrySink,
+)
+
+__all__ = [
+    "EVENT_CATEGORIES",
+    "KIND_CATEGORY",
+    "EventKind",
+    "TelemetryEvent",
+    "TelemetryHub",
+    "IntervalTracker",
+    "TelemetryMismatch",
+    "crosscheck",
+    "replay_counters",
+    "ChromeTraceSink",
+    "CounterSink",
+    "JsonlSink",
+    "RingBufferSink",
+    "TelemetrySink",
+]

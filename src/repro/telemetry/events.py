@@ -1,0 +1,112 @@
+"""Typed telemetry events: the taxonomy every sink and consumer agrees on.
+
+Each event carries an :class:`EventKind`, the front-end cycle at which it was
+observed, and a flat ``args`` payload of primitives.  Kinds group into
+*categories* (``fetch`` / ``uopcache`` / ``loopcache`` / ``interval``) which
+are the unit of filtering: ``config.telemetry.events`` and the CLI's
+``--events`` flag select categories, not individual kinds.
+
+The taxonomy (DESIGN.md section 10):
+
+========================  ==========  =============================================
+kind                      category    emitted when / payload
+========================  ==========  =============================================
+``fetch_action``          fetch       one serving action completed
+                                      (``source``, ``uops``, ``insts``, ``tid``)
+``fetch_transition``      fetch       the supply path changed
+                                      (``src``, ``dst``, ``tid``)
+``oc_hit``                uopcache    uop cache probe hit (``pc``, ``uops``)
+``oc_miss``               uopcache    uop cache probe missed (``pc``)
+``oc_fill``               uopcache    entry installed (``pc``, ``fill_kind``,
+                                      ``termination``, ``uops``, ``bytes``,
+                                      ``lines`` — I-cache lines spanned, >1 is a
+                                      CLASP fuse)
+``oc_evict``              uopcache    entry displaced by replacement
+                                      (``pc``, ``uops``)
+``oc_dissolve``           uopcache    F-PWAC forced merge relocated foreign
+                                      entries (``pc``, ``moved``, ``moved_uops``)
+``oc_invalidate``         uopcache    SMC probe removed entries
+                                      (``line``, ``removed``)
+``oc_bypass``             uopcache    instruction too large for any entry; served
+                                      by the microcode sequencer (``pc``, ``uops``)
+``loop_capture``          loopcache   loop buffer locked onto a loop
+                                      (``branch_pc``, ``target_pc``, ``body_uops``)
+``loop_replay``           loopcache   one locked iteration replayed
+                                      (``branch_pc``, ``uops``)
+``loop_exit``             loopcache   control flow left the locked loop
+``interval``              interval    per-interval throughput sample
+                                      (``start``, ``end``, ``insts``, ``uops``,
+                                      ``ipc``, ``upc``)
+========================  ==========  =============================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Mapping
+
+
+class EventKind(enum.Enum):
+    """Every telemetry event kind the simulator can emit."""
+
+    FETCH_ACTION = "fetch_action"
+    FETCH_TRANSITION = "fetch_transition"
+    OC_HIT = "oc_hit"
+    OC_MISS = "oc_miss"
+    OC_FILL = "oc_fill"
+    OC_EVICT = "oc_evict"
+    OC_DISSOLVE = "oc_dissolve"
+    OC_INVALIDATE = "oc_invalidate"
+    OC_BYPASS = "oc_bypass"
+    LOOP_CAPTURE = "loop_capture"
+    LOOP_REPLAY = "loop_replay"
+    LOOP_EXIT = "loop_exit"
+    INTERVAL = "interval"
+
+
+#: Category of each kind (the filtering granularity).
+KIND_CATEGORY: Mapping[EventKind, str] = {
+    EventKind.FETCH_ACTION: "fetch",
+    EventKind.FETCH_TRANSITION: "fetch",
+    EventKind.OC_HIT: "uopcache",
+    EventKind.OC_MISS: "uopcache",
+    EventKind.OC_FILL: "uopcache",
+    EventKind.OC_EVICT: "uopcache",
+    EventKind.OC_DISSOLVE: "uopcache",
+    EventKind.OC_INVALIDATE: "uopcache",
+    EventKind.OC_BYPASS: "uopcache",
+    EventKind.LOOP_CAPTURE: "loopcache",
+    EventKind.LOOP_REPLAY: "loopcache",
+    EventKind.LOOP_EXIT: "loopcache",
+    EventKind.INTERVAL: "interval",
+}
+
+#: Every selectable category, in presentation order.
+EVENT_CATEGORIES = ("fetch", "uopcache", "loopcache", "interval")
+
+
+class TelemetryEvent:
+    """One observed event: kind + front-end cycle + flat payload."""
+
+    __slots__ = ("kind", "cycle", "args")
+
+    def __init__(self, kind: EventKind, cycle: int,
+                 args: Dict[str, Any]) -> None:
+        self.kind = kind
+        self.cycle = cycle
+        self.args = args
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (one JSONL record).
+
+        Payload keys must not collide with the envelope (``kind``,
+        ``cycle``); the emitting sites keep the namespaces disjoint
+        (e.g. fill events use ``fill_kind``).
+        """
+        record: Dict[str, Any] = {"kind": self.kind.value, "cycle": self.cycle}
+        record.update(self.args)
+        return record
+
+    def __repr__(self) -> str:
+        return (f"TelemetryEvent({self.kind.value}, cycle={self.cycle}, "
+                f"{self.args!r})")

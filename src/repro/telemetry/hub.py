@@ -1,0 +1,93 @@
+"""The telemetry event bus.
+
+A :class:`TelemetryHub` is the single emission point every instrumented
+structure talks to.  Design constraints:
+
+- **Zero overhead when disabled** — instrumented code holds ``None`` instead
+  of a hub when telemetry is off, so the only cost on the hot path is one
+  ``is not None`` test.  The hub itself never needs an "enabled" flag.
+- **Category filtering at the source** — ``emit`` drops events whose category
+  was not selected before any sink sees them, so a ``--events uopcache``
+  trace pays nothing for fetch events.
+- **Cheap always-on accounting** — the hub counts emitted events per kind
+  regardless of sinks; :meth:`summary` feeds
+  ``SimulationResult.telemetry_events`` (and through it the runner's
+  checkpoint journal) without requiring a sink.
+
+Simulated time: the owning simulator stores its front-end cycle into
+:attr:`cycle` before each serving action; structures that cannot see the
+clock (the uop cache, the loop buffer) timestamp their events from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..common.config import TelemetryConfig
+from ..common.errors import ConfigError
+from .events import EVENT_CATEGORIES, KIND_CATEGORY, EventKind, TelemetryEvent
+from .sinks import TelemetrySink
+
+
+class TelemetryHub:
+    """Routes typed events from instrumented structures to attached sinks."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None) -> None:
+        if categories is None:
+            selected = frozenset(EVENT_CATEGORIES)
+        else:
+            selected = frozenset(categories)
+            unknown = selected - frozenset(EVENT_CATEGORIES)
+            if unknown:
+                raise ConfigError(
+                    f"unknown telemetry categories {sorted(unknown)}; "
+                    f"valid: {', '.join(EVENT_CATEGORIES)}")
+        self.categories = selected
+        #: Simulated front-end cycle; the owning simulator keeps it current.
+        self.cycle = 0
+        self.event_counts: Dict[str, int] = {}
+        self._sinks: List[TelemetrySink] = []
+
+    @classmethod
+    def from_config(cls, config: TelemetryConfig) -> "TelemetryHub":
+        return cls(categories=config.events)
+
+    # ------------------------------------------------------------------ sinks
+
+    def add_sink(self, sink: TelemetrySink) -> TelemetrySink:
+        """Attach a sink; returns it for chaining."""
+        self._sinks.append(sink)
+        return sink
+
+    def close(self) -> None:
+        """Flush and close every attached sink."""
+        for sink in self._sinks:
+            sink.close()
+
+    # --------------------------------------------------------------- emission
+
+    def wants(self, kind: EventKind) -> bool:
+        """Whether events of ``kind`` pass the category filter."""
+        return KIND_CATEGORY[kind] in self.categories
+
+    def emit(self, kind: EventKind, /, **args: Any) -> None:
+        """Emit one event at the current simulated cycle.
+
+        ``kind`` is positional-only so payload keys can never shadow it;
+        emitting sites also keep payload names distinct from the envelope
+        (``kind``/``cycle``) so ``to_dict`` stays collision-free.
+        """
+        if KIND_CATEGORY[kind] not in self.categories:
+            return
+        name = kind.value
+        self.event_counts[name] = self.event_counts.get(name, 0) + 1
+        if self._sinks:
+            event = TelemetryEvent(kind, self.cycle, args)
+            for sink in self._sinks:
+                sink.accept(event)
+
+    # ---------------------------------------------------------------- reports
+
+    def summary(self) -> Dict[str, int]:
+        """Events emitted per kind (insertion order = first-emission order)."""
+        return dict(self.event_counts)

@@ -1,0 +1,75 @@
+"""Per-interval throughput sampling.
+
+:class:`IntervalTracker` turns the simulator's running (cycle, instructions,
+uops) totals into fixed-width interval samples: one
+:data:`~repro.telemetry.events.EventKind.INTERVAL` event per completed
+``interval_cycles`` window, carrying the window's instruction/uop deltas and
+the derived IPC/UPC.  The tracker is pull-free — the simulator calls
+:meth:`update` after every fetch action and :meth:`finish` at collection, so
+no component ever needs a callback into the simulator.
+
+A fetch action can advance the clock across several interval boundaries at
+once (a long decode stall, a DRAM miss); the tracker then emits one sample
+per crossed window, attributing the whole delta to the first crossed window
+and zero-activity samples to the rest.  That keeps sample spacing exactly
+periodic, which is what makes the Perfetto counter track readable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .events import EventKind
+
+if TYPE_CHECKING:   # pragma: no cover - import only for type checkers
+    from .hub import TelemetryHub
+
+
+class IntervalTracker:
+    """Emits one INTERVAL event per completed ``interval_cycles`` window."""
+
+    def __init__(self, hub: "TelemetryHub", interval_cycles: int,
+                 tid: int = 0) -> None:
+        self.hub = hub
+        self.interval_cycles = interval_cycles
+        #: Chrome-trace thread id (the SMT coordinator renumbers threads).
+        self.tid = tid
+        self._window_start = 0
+        self._insts_at_start = 0
+        self._uops_at_start = 0
+        self._last_insts = 0
+        self._last_uops = 0
+
+    def update(self, cycle: int, instructions: int, uops: int) -> None:
+        """Report the running totals after one fetch action."""
+        self._last_insts = instructions
+        self._last_uops = uops
+        end = self._window_start + self.interval_cycles
+        while cycle >= end:
+            self._emit(end, instructions, uops)
+            self._window_start = end
+            self._insts_at_start = instructions
+            self._uops_at_start = uops
+            end += self.interval_cycles
+
+    def finish(self, cycle: int) -> None:
+        """Emit the trailing partial window (if it saw any activity)."""
+        if cycle <= self._window_start:
+            return
+        if self._last_insts == self._insts_at_start and \
+                self._last_uops == self._uops_at_start:
+            return
+        self._emit(cycle, self._last_insts, self._last_uops)
+        self._window_start = cycle
+        self._insts_at_start = self._last_insts
+        self._uops_at_start = self._last_uops
+
+    def _emit(self, end: int, instructions: int, uops: int) -> None:
+        width = end - self._window_start
+        insts = instructions - self._insts_at_start
+        delta_uops = uops - self._uops_at_start
+        self.hub.emit(EventKind.INTERVAL,
+                      start=self._window_start, end=end,
+                      insts=insts, uops=delta_uops,
+                      ipc=insts / width, upc=delta_uops / width,
+                      tid=self.tid)

@@ -1,0 +1,147 @@
+"""Event-stream replay: rebuild aggregate counters from telemetry events.
+
+The telemetry layer is only trustworthy if the event stream and the
+end-of-run counters tell the same story.  :func:`replay_counters` folds an
+event stream back into the aggregate quantities
+:class:`~repro.core.metrics.SimulationResult` reports, and
+:func:`crosscheck` diffs the two, raising :class:`TelemetryMismatch` that
+names the first diverging counter *and* the last event that contributed to
+it — so a desync points at the offending emission site, not just at a wrong
+number.
+
+Replay requires a warmup-free run (``warmup_instructions=0``): the result's
+rate counters subtract their warmup snapshot, while the event stream always
+covers the whole run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Tuple
+
+from ..common.errors import ReproError
+from .events import EventKind, TelemetryEvent
+
+if TYPE_CHECKING:   # pragma: no cover - import only for type checkers
+    from ..core.metrics import SimulationResult
+
+
+class TelemetryMismatch(ReproError):
+    """The replayed event stream disagrees with the aggregate counters."""
+
+    def __init__(self, counter: str, replayed: Any, reported: Any,
+                 last_event: Optional[TelemetryEvent]) -> None:
+        self.counter = counter
+        self.replayed = replayed
+        self.reported = reported
+        self.last_event = last_event
+        detail = (f"event replay of {counter!r} gives {replayed!r} but the "
+                  f"simulation reported {reported!r}")
+        if last_event is not None:
+            detail += (f"; last contributing event: {last_event!r}")
+        else:
+            detail += "; no event of that kind was ever emitted"
+        super().__init__(detail)
+
+
+#: Fill kinds that count as compacted placements.
+_COMPACTED_KINDS = ("rac", "pwac", "f-pwac")
+
+
+def replay_counters(events: Iterable[TelemetryEvent]) -> Dict[str, Any]:
+    """Fold an event stream into the aggregate counters it implies.
+
+    Returns a flat dict whose keys mirror :class:`SimulationResult` counter
+    names (plus ``fill_kind_counts``, keyed by fill-kind value strings).
+    """
+    counters: Dict[str, Any] = {
+        "uop_cache_hits": 0,
+        "uop_cache_lookups": 0,
+        "uop_cache_fills": 0,
+        "uops_from_uop_cache": 0,
+        "uops_from_decoder": 0,
+        "uops_from_loop_cache": 0,
+        "uops": 0,
+        "instructions": 0,
+        "fill_kind_counts": {},
+    }
+    fill_kinds: Dict[str, int] = counters["fill_kind_counts"]
+    source_field = {"oc": "uops_from_uop_cache",
+                    "ic": "uops_from_decoder",
+                    "loop": "uops_from_loop_cache"}
+    for event in events:
+        kind = event.kind
+        if kind is EventKind.OC_HIT:
+            counters["uop_cache_hits"] += 1
+            counters["uop_cache_lookups"] += 1
+        elif kind is EventKind.OC_MISS:
+            counters["uop_cache_lookups"] += 1
+        elif kind is EventKind.OC_FILL:
+            fill_kind = event.args["fill_kind"]
+            fill_kinds[fill_kind] = fill_kinds.get(fill_kind, 0) + 1
+            if fill_kind != "duplicate":
+                counters["uop_cache_fills"] += 1
+        elif kind is EventKind.FETCH_ACTION:
+            counters[source_field[event.args["source"]]] += \
+                event.args["uops"]
+            counters["uops"] += event.args["uops"]
+            counters["instructions"] += event.args["insts"]
+    return counters
+
+
+def _last_event_of(events: Iterable[TelemetryEvent],
+                   kinds: Tuple[EventKind, ...]) -> Optional[TelemetryEvent]:
+    last = None
+    for event in events:
+        if event.kind in kinds:
+            last = event
+    return last
+
+
+def crosscheck(events: Iterable[TelemetryEvent],
+               result: "SimulationResult") -> Dict[str, Any]:
+    """Verify the event stream reproduces ``result``'s counters exactly.
+
+    Raises :class:`TelemetryMismatch` on the first diverging counter;
+    returns the replayed counter dict on success.  The run must have used
+    ``warmup_instructions=0`` (see module docstring).
+    """
+    events = list(events)
+    replayed = replay_counters(events)
+
+    #: counter -> (reported value, event kinds that feed it)
+    checks: Dict[str, Tuple[Any, Tuple[EventKind, ...]]] = {
+        "instructions": (result.instructions, (EventKind.FETCH_ACTION,)),
+        "uops": (result.uops, (EventKind.FETCH_ACTION,)),
+        "uops_from_uop_cache": (result.uops_from_uop_cache,
+                                (EventKind.FETCH_ACTION,)),
+        "uops_from_decoder": (result.uops_from_decoder,
+                              (EventKind.FETCH_ACTION,)),
+        "uops_from_loop_cache": (result.uops_from_loop_cache,
+                                 (EventKind.FETCH_ACTION,)),
+        "uop_cache_hits": (result.uop_cache_hits, (EventKind.OC_HIT,)),
+        "uop_cache_lookups": (result.uop_cache_lookups,
+                              (EventKind.OC_HIT, EventKind.OC_MISS)),
+        "uop_cache_fills": (result.uop_cache_fills, (EventKind.OC_FILL,)),
+    }
+    for counter, (reported, kinds) in checks.items():
+        if replayed[counter] != reported:
+            raise TelemetryMismatch(counter, replayed[counter], reported,
+                                    _last_event_of(events, kinds))
+
+    reported_kinds = {kind.value: count
+                      for kind, count in result.fill_kind_counts.items()
+                      if count}
+    if replayed["fill_kind_counts"] != reported_kinds:
+        raise TelemetryMismatch("fill_kind_counts",
+                                replayed["fill_kind_counts"], reported_kinds,
+                                _last_event_of(events, (EventKind.OC_FILL,)))
+
+    replayed_compacted = sum(replayed["fill_kind_counts"].get(kind, 0)
+                             for kind in _COMPACTED_KINDS)
+    reported_compacted = sum(reported_kinds.get(kind, 0)
+                             for kind in _COMPACTED_KINDS)
+    if replayed_compacted != reported_compacted:   # pragma: no cover
+        raise TelemetryMismatch("compacted_fills", replayed_compacted,
+                                reported_compacted,
+                                _last_event_of(events, (EventKind.OC_FILL,)))
+    return replayed

@@ -1,0 +1,158 @@
+"""Telemetry sinks: where the event stream goes.
+
+Four sinks cover the observability needs of the repo:
+
+- :class:`RingBufferSink` — bounded (or unbounded) in-memory buffer, the tool
+  of choice for tests and interactive debugging.
+- :class:`JsonlSink` — one JSON object per line, the archival/processing
+  format (replayable by :mod:`repro.telemetry.replay`).
+- :class:`CounterSink` — aggregate per-kind counts plus per-interval IPC/UPC
+  histograms; cheap enough to leave attached on long sweeps.
+- :class:`ChromeTraceSink` — Chrome ``trace_event`` JSON, loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Interval
+  events become counter tracks (``ph: "C"``), everything else becomes
+  instant events (``ph: "i"``) on the emitting thread's track.
+
+Sinks receive fully-constructed :class:`~repro.telemetry.events.TelemetryEvent`
+objects and must not mutate them (a hub fans one object out to every sink).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Any, Deque, Dict, List, Optional, Union
+
+from ..common.statistics import Histogram
+from .events import EventKind, TelemetryEvent
+
+
+class TelemetrySink:
+    """Base sink: accepts events, flushes on close.  Subclasses override."""
+
+    def accept(self, event: TelemetryEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush buffered output; the default is a no-op."""
+
+
+class RingBufferSink(TelemetrySink):
+    """Keeps the last ``capacity`` events in memory (None = unbounded)."""
+
+    def __init__(self, capacity: Optional[int] = 65536) -> None:
+        self.capacity = capacity
+        self._events: Deque[TelemetryEvent] = deque(maxlen=capacity)
+        self.accepted = 0       # total events seen, including overwritten ones
+
+    def accept(self, event: TelemetryEvent) -> None:
+        self._events.append(event)
+        self.accepted += 1
+
+    @property
+    def events(self) -> List[TelemetryEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by the ring's capacity bound."""
+        return self.accepted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlSink(TelemetrySink):
+    """Writes one JSON object per event to a file or open stream."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.written = 0
+
+    def accept(self, event: TelemetryEvent) -> None:
+        self._stream.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._stream.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class CounterSink(TelemetrySink):
+    """Aggregates the stream: per-kind counts + interval IPC/UPC histograms.
+
+    Interval samples are real-valued; the histograms bucket them in
+    hundredths (an IPC of 2.37 lands in bucket 237) so distributions stay
+    integer-keyed like every other histogram in the repo.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.ipc_histogram = Histogram("interval_ipc_x100")
+        self.upc_histogram = Histogram("interval_upc_x100")
+        self.intervals = 0
+
+    def accept(self, event: TelemetryEvent) -> None:
+        name = event.kind.value
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if event.kind is EventKind.INTERVAL:
+            self.intervals += 1
+            self.ipc_histogram.record(round(100 * event.args["ipc"]))
+            self.upc_histogram.record(round(100 * event.args["upc"]))
+
+
+class ChromeTraceSink(TelemetrySink):
+    """Exports the stream as Chrome ``trace_event`` JSON for Perfetto.
+
+    Timestamps (``ts``) are front-end cycles interpreted as microseconds —
+    the absolute scale is meaningless but relative spacing is exact, which is
+    what the timeline view is for.
+    """
+
+    #: Process id shown in the trace viewer (one simulated core).
+    PID = 1
+
+    def __init__(self, target: Union[str, Path]) -> None:
+        self.path = Path(target)
+        self._events: List[Dict[str, Any]] = []
+        self._threads_seen: Dict[int, bool] = {}
+
+    def accept(self, event: TelemetryEvent) -> None:
+        tid = int(event.args.get("tid", 0))
+        self._threads_seen.setdefault(tid, True)
+        if event.kind is EventKind.INTERVAL:
+            self._events.append({
+                "name": "throughput", "ph": "C", "ts": event.cycle,
+                "pid": self.PID, "tid": tid,
+                "args": {"ipc": event.args["ipc"],
+                         "upc": event.args["upc"]}})
+            return
+        args = {key: value for key, value in event.args.items()
+                if key != "tid"}
+        self._events.append({
+            "name": event.kind.value, "ph": "i", "ts": event.cycle,
+            "pid": self.PID, "tid": tid, "s": "t", "args": args})
+
+    def close(self) -> None:
+        metadata: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": self.PID,
+            "args": {"name": "repro simulator"}}]
+        for tid in sorted(self._threads_seen):
+            metadata.append({
+                "name": "thread_name", "ph": "M", "pid": self.PID,
+                "tid": tid, "args": {"name": f"hw-thread-{tid}"}})
+        document = {"traceEvents": metadata + self._events,
+                    "displayTimeUnit": "ns"}
+        with open(self.path, "w", encoding="utf-8") as stream:
+            json.dump(document, stream)
+
+    def __len__(self) -> int:
+        return len(self._events)

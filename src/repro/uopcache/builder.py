@@ -26,6 +26,8 @@ from typing import List, Optional, Sequence
 from ..common.config import UopCacheConfig
 from ..common.errors import CacheError
 from ..isa.uop import Uop
+from ..telemetry.events import EventKind
+from ..telemetry.hub import TelemetryHub
 from .entry import EntryBuilder, EntryTermination, UopCacheEntry
 
 
@@ -33,9 +35,11 @@ class AccumulationBuffer:
     """Builds entries for one sequential decode run at a time."""
 
     def __init__(self, config: UopCacheConfig,
-                 icache_line_bytes: int = 64) -> None:
+                 icache_line_bytes: int = 64,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self.config = config
         self.icache_line_bytes = icache_line_bytes
+        self._telemetry = telemetry
         self._builder: Optional[EntryBuilder] = None
         self._first_line = 0        # I-cache line index of the entry's first inst
         self._pw_id = 0
@@ -86,6 +90,9 @@ class AccumulationBuffer:
             # serve such instructions from the micro-code sequencer.
             self._builder = None
             self.bypassed_uops += len(inst_uops)
+            if self._telemetry is not None:
+                self._telemetry.emit(EventKind.OC_BYPASS, pc=pc,
+                                     uops=len(inst_uops))
             return sealed
 
         self._builder.add_instruction(inst_uops)

@@ -34,6 +34,8 @@ from ..common.config import CompactionPolicy, UopCacheConfig
 from ..common.errors import CacheError
 from ..common.statistics import StatGroup
 from ..caches.replacement import TrueLru
+from ..telemetry.events import EventKind
+from ..telemetry.hub import TelemetryHub
 from .entry import EntryTermination, UopCacheEntry
 
 
@@ -74,9 +76,12 @@ class UopCache:
     """The uop cache proper.  See module docstring for the model."""
 
     def __init__(self, config: Optional[UopCacheConfig] = None,
-                 icache_line_bytes: int = 64) -> None:
+                 icache_line_bytes: int = 64,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self.config = config or UopCacheConfig()
         self.icache_line_bytes = icache_line_bytes
+        #: Telemetry hub, or None (the zero-overhead disabled state).
+        self._telemetry = telemetry
         cfg = self.config
         self._sets: List[List[UopCacheLine]] = [
             [UopCacheLine() for _ in range(cfg.associativity)]
@@ -101,6 +106,10 @@ class UopCache:
             reason: 0 for reason in EntryTermination}
         self._spanning_fills = self.stats.counter("entries_spanning_lines")
 
+    def attach_telemetry(self, telemetry: Optional[TelemetryHub]) -> None:
+        """Attach (or detach, with None) a telemetry hub after construction."""
+        self._telemetry = telemetry
+
     # -- indexing ---------------------------------------------------------
 
     def set_index(self, pc: int) -> int:
@@ -114,6 +123,8 @@ class UopCache:
         way = self._index[set_index].get(pc)
         if way is None:
             self._misses.increment()
+            if self._telemetry is not None:
+                self._telemetry.emit(EventKind.OC_MISS, pc=pc)
             return None
         line = self._sets[set_index][way]
         for entry in line.entries:
@@ -121,6 +132,9 @@ class UopCache:
                 self._lru.on_hit(set_index, way)
                 self._hits.increment()
                 self._uops_delivered.increment(entry.num_uops)
+                if self._telemetry is not None:
+                    self._telemetry.emit(EventKind.OC_HIT, pc=pc,
+                                         uops=entry.num_uops)
                 return entry
         raise CacheError(f"index desync at pc {pc:#x}")  # pragma: no cover
 
@@ -143,6 +157,9 @@ class UopCache:
         if entry.start_pc in self._index[set_index]:
             self._duplicate_fills.increment()
             self._fill_kind_counts[FillKind.DUPLICATE] += 1
+            if self._telemetry is not None:
+                self._telemetry.emit(EventKind.OC_FILL, pc=entry.start_pc,
+                                     fill_kind=FillKind.DUPLICATE.value)
             return FillResult(FillKind.DUPLICATE)
 
         self._record_fill_stats(entry)
@@ -156,6 +173,13 @@ class UopCache:
         self._fill_kind_counts[result.kind] += 1
         if result.kind in (FillKind.RAC, FillKind.PWAC, FillKind.F_PWAC):
             self._compacted_fills.increment()
+        if self._telemetry is not None:
+            self._telemetry.emit(
+                EventKind.OC_FILL, pc=entry.start_pc,
+                fill_kind=result.kind.value,
+                termination=entry.termination.value, uops=entry.num_uops,
+                bytes=entry.size_bytes(cfg),
+                lines=len(entry.icache_lines(self.icache_line_bytes)))
         return result
 
     def _record_fill_stats(self, entry: UopCacheEntry) -> None:
@@ -268,6 +292,11 @@ class UopCache:
 
         self._lru.on_fill(set_index, victim_way)
         self._lru.on_fill(set_index, buddy_way)
+        if self._telemetry is not None:
+            self._telemetry.emit(
+                EventKind.OC_DISSOLVE, pc=entry.start_pc,
+                moved=len(foreign),
+                moved_uops=sum(resident.num_uops for resident in foreign))
         return FillResult(FillKind.F_PWAC, evicted)
 
     # -- eviction / invalidation -------------------------------------------------
@@ -277,6 +306,9 @@ class UopCache:
         evicted = line.entries
         for entry in evicted:
             self._index[set_index].pop(entry.start_pc, None)
+            if self._telemetry is not None:
+                self._telemetry.emit(EventKind.OC_EVICT, pc=entry.start_pc,
+                                     uops=entry.num_uops)
         self._evicted_entries.increment(len(evicted))
         line.entries = []
         return evicted
@@ -307,6 +339,9 @@ class UopCache:
                         keep.append(entry)
                 line.entries = keep
         self._invalidated_entries.increment(removed)
+        if self._telemetry is not None:
+            self._telemetry.emit(EventKind.OC_INVALIDATE, line=line_address,
+                                 removed=removed)
         return removed
 
     def flush(self) -> None:

@@ -175,6 +175,92 @@ def test_lookup_returns_only_filled_start_addresses(seed):
 
 
 # --------------------------------------------------------------------------
+# Compaction policy properties (Section V-B).
+# --------------------------------------------------------------------------
+
+COMPACTING_POLICIES = (CompactionPolicy.RAC, CompactionPolicy.PWAC,
+                       CompactionPolicy.F_PWAC)
+
+fill_stream = st.lists(
+    st.tuples(st.integers(0, 63),    # pc slot (x16 bytes)
+              st.integers(1, 6),     # instructions per entry
+              st.integers(0, 7)),    # pw slot (x64 bytes)
+    min_size=1, max_size=120)
+
+
+def _fill_from(cache, slot, num_insts, pw_slot):
+    entry = make_entry(0x1000 + slot * 16, num_insts=num_insts,
+                       pw_id=0x1000 + pw_slot * 64)
+    return entry, cache.fill(entry)
+
+
+@given(stream=fill_stream,
+       policy=st.sampled_from(COMPACTING_POLICIES),
+       max_entries=st.integers(1, 3))
+@SLOW
+def test_compaction_never_exceeds_line_capacity(stream, policy, max_entries):
+    """No fill sequence under RAC/PWAC/F-PWAC overfills a physical line."""
+    cfg = small_oc_config(compaction=policy,
+                          max_entries_per_line=max_entries)
+    cache = UopCache(cfg)
+    for slot, num_insts, pw_slot in stream:
+        _fill_from(cache, slot, num_insts, pw_slot)
+        for ways in cache._sets:
+            for line in ways:
+                assert line.used_bytes(cfg) <= cfg.usable_line_bytes
+                assert len(line.entries) <= max(1, max_entries)
+
+
+@given(stream=fill_stream)
+@SLOW
+def test_fpwac_dissolution_conserves_uops(stream):
+    """Forced merges move foreign entries; they never create or lose uops.
+
+    Resident uops must always equal (uops filled) - (uops evicted): the
+    dissolution step of F-PWAC relocates entries rather than dropping them.
+    """
+    cache = UopCache(small_oc_config(compaction=CompactionPolicy.F_PWAC,
+                                     max_entries_per_line=3))
+    from repro.uopcache.cache import FillKind
+    expected = 0
+    for slot, num_insts, pw_slot in stream:
+        entry, result = _fill_from(cache, slot, num_insts, pw_slot)
+        if result.kind is not FillKind.DUPLICATE:
+            expected += entry.num_uops
+        expected -= sum(e.num_uops for e in result.evicted)
+        assert cache.resident_uops() == expected
+        cache.check_invariants()
+
+
+@given(stream=fill_stream)
+@SLOW
+def test_pwac_falls_back_to_rac_exactly_without_buddy(stream):
+    """PWAC compacts with a same-PW buddy when one accepts; with no buddy
+    present the fill must not be PW-aware (RAC or plain allocation)."""
+    from repro.uopcache.cache import FillKind
+    cache = UopCache(small_oc_config(compaction=CompactionPolicy.PWAC,
+                                     max_entries_per_line=3))
+    for slot, num_insts, pw_slot in stream:
+        entry = make_entry(0x1000 + slot * 16, num_insts=num_insts,
+                           pw_id=0x1000 + pw_slot * 64)
+        set_index = cache.set_index(entry.start_pc)
+        buddy_way = cache._find_same_pw_line(set_index, entry)
+        buddy_accepts = buddy_way is not None and \
+            cache._line_accepts(set_index, buddy_way, entry)
+        result = cache.fill(entry)
+        if result.kind is FillKind.DUPLICATE:
+            continue
+        if buddy_way is None:
+            assert result.kind in (FillKind.RAC, FillKind.ALLOC)
+        elif buddy_accepts:
+            assert result.kind is FillKind.PWAC
+        else:
+            # Buddy exists but lacks room: plain PWAC (not F-PWAC) must
+            # degrade to replacement-aware compaction or allocation.
+            assert result.kind in (FillKind.RAC, FillKind.ALLOC)
+
+
+# --------------------------------------------------------------------------
 # Workload generation invariants.
 # --------------------------------------------------------------------------
 

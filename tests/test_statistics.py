@@ -155,6 +155,21 @@ class TestHelpers:
         with pytest.warns(ReproWarning, match=r"2 zero\(s\)"):
             geometric_mean([0.0, 3.0, 0.0])
 
+    def test_geometric_mean_zero_warning_message_under_w_error(self):
+        # Under `-W error` (how CI and careful users run) the warning becomes
+        # the raised exception, so its message *is* the diagnostic.  Pin the
+        # full content: the count of values, the count of zeros, and the
+        # probable-cause hint.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(
+                    ReproWarning,
+                    match=r"geometric mean over 3 value\(s\) containing "
+                          r"1 zero\(s\) is 0\.0; zeros usually mean a metric "
+                          r"never fired \(quarantined job or dead "
+                          r"counter\?\)"):
+                geometric_mean([2.0, 0.0, 8.0])
+
     def test_geometric_mean_positive_values_do_not_warn(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
