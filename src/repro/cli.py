@@ -11,6 +11,7 @@ Commands:
 - ``table2``         render the workload suite (paper Table II)
 - ``workloads``      list the available workload profiles
 - ``lint``           run the simlint determinism/correctness linter
+- ``fuzz``           differential-oracle fuzzing of the uop cache designs
 """
 
 from __future__ import annotations
@@ -33,9 +34,10 @@ from .core.experiment import (
     run_policy_sweep,
     workload_trace,
 )
-from .common.errors import ConfigError
+from .common.errors import ConfigError, ReproError
 from .core.simulator import Simulator
 from .lint.cli import add_lint_arguments, run_lint
+from .oracle.cli import add_fuzz_arguments, run_fuzz
 from .runner.executor import RunnerConfig
 from .core.smt import simulate_smt
 from .telemetry import (
@@ -356,6 +358,11 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the simlint determinism/correctness linter")
     add_lint_arguments(lint_parser)
     lint_parser.set_defaults(func=run_lint)
+
+    fuzz_parser = commands.add_parser(
+        "fuzz", help="differential-oracle fuzzing of the uop cache designs")
+    add_fuzz_arguments(fuzz_parser)
+    fuzz_parser.set_defaults(func=run_fuzz)
     return parser
 
 
@@ -367,6 +374,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Output was piped into a consumer that closed early (e.g. head).
         return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # Unwritable --out / --checkpoint-dir and similar: one-line
+        # diagnostic, no traceback (scripted callers key off exit code 2).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":   # pragma: no cover

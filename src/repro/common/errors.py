@@ -33,6 +33,12 @@ class CacheError(ReproError):
     """A cache structure was used incorrectly (bad index, bad fill, ...)."""
 
 
+class OracleError(ReproError):
+    """The differential-testing oracle was misused or hit an unsupported
+    configuration (divergences raise the richer ``OracleDivergence``
+    subclass defined in :mod:`repro.oracle.runner`)."""
+
+
 class RunnerError(ReproError):
     """The sweep runner was misused or could not execute a job."""
 

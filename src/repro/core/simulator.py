@@ -261,6 +261,40 @@ class Simulator:
                 self._observe_fetch_action(fe_cycle)
             yield fe_cycle
 
+    def supply_counters(self) -> Dict[str, int]:
+        """Architectural supply-path counters, as a flat name->value dict.
+
+        This is the comparison surface of the differential oracle
+        (:mod:`repro.oracle`): every counter here is a pure function of the
+        architectural front-end state — no timing, no power, no back-end
+        occupancy — so a correct reference model must reproduce each value
+        exactly after every fetch action.
+        """
+        oc = self.uop_cache
+        counters = {
+            "instructions": self._instructions_done,
+            "uops_oc": self._uops_from_oc,
+            "uops_ic": self._uops_from_ic,
+            "uops_loop": self._uops_from_loop,
+            "oc_hits": oc.hits,
+            "oc_misses": oc.misses,
+            "oc_fills": oc.fills,
+            "oc_uops_delivered": oc.uops_delivered,
+            "oc_duplicate_fills": oc.duplicate_fills,
+            "oc_evicted_entries": oc.evicted_entries,
+            "oc_invalidated_entries": oc.invalidated_entries,
+            "bypassed_uops": self.accumulator.bypassed_uops,
+            "branches": self.bpu.branches,
+            "mispredicts": self._mispredicts,
+            "resteers": self.bpu.decode_resteers,
+        }
+        for kind, count in self.uop_cache.fill_kind_counts.items():
+            counters[f"fill_{kind.value}"] = count
+        for reason, count in self.uop_cache.termination_counts.items():
+            counters[f"term_{reason.value}"] = count
+        counters.update(self.loop_cache.snapshot())
+        return counters
+
     def collect(self) -> SimulationResult:
         """Build the results object for the work simulated so far."""
         if self._pw_entry_count:

@@ -120,3 +120,15 @@ class LoopCache:
     @property
     def captures(self) -> int:
         return self._captures.value
+
+    @property
+    def exits(self) -> int:
+        return self._exits.value
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat counter view (captures/served/exits) for external checkers."""
+        return {
+            "loop_captures": self.captures,
+            "loop_uops_served": self.uops_served,
+            "loop_exits": self.exits,
+        }

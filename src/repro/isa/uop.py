@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from .instruction import BranchKind, InstClass, X86Instruction
 
@@ -77,6 +77,18 @@ class Uop:
     @property
     def size_bytes(self) -> int:
         return UOP_BYTES
+
+
+def uops_storage_bytes(uops: Sequence["Uop"], uop_bytes: int,
+                       imm_disp_bytes: int) -> int:
+    """Line-storage footprint of a uop group: fixed slots + imm/disp slots.
+
+    The single sizing rule shared by the optimized uop cache entry and the
+    oracle's reference model, so both sides agree on what "fits in a line"
+    means by construction.
+    """
+    num_imm = sum(1 for uop in uops if uop.has_imm_disp)
+    return len(uops) * uop_bytes + num_imm * imm_disp_bytes
 
 
 _CLASS_TO_KINDS = {

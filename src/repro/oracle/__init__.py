@@ -1,0 +1,34 @@
+"""Differential-testing oracle: naive reference models, lockstep runner,
+and a coverage-guided workload fuzzer.
+
+The modules here deliberately share only ISA and configuration types with
+the optimized simulator — every cache/accounting decision is re-derived
+from the paper's prose in the most obvious way possible, so the two
+implementations fail independently.
+"""
+
+from .frontend import ReferenceFrontEnd
+from .fuzzer import (FuzzInput, FuzzResult, WorkloadFuzzer, build_profile,
+                     minimize, replay_repro, run_input, write_repro)
+from .reference import ReferenceAccumulator, ReferenceUopCache, RefEntry
+from .runner import (DiffReport, DifferentialRunner, OracleDivergence,
+                     resolve_branch_outcomes)
+
+__all__ = [
+    "DiffReport",
+    "DifferentialRunner",
+    "FuzzInput",
+    "FuzzResult",
+    "OracleDivergence",
+    "RefEntry",
+    "ReferenceAccumulator",
+    "ReferenceFrontEnd",
+    "ReferenceUopCache",
+    "WorkloadFuzzer",
+    "build_profile",
+    "minimize",
+    "replay_repro",
+    "resolve_branch_outcomes",
+    "run_input",
+    "write_repro",
+]

@@ -1,0 +1,92 @@
+"""CLI front-end for the differential oracle: ``python -m repro fuzz``.
+
+Exit codes (CI contract, mirroring ``repro lint``):
+
+- 0 — the budget completed with zero divergences,
+- 1 — a divergence was found (minimized repro written under ``--out-dir``),
+- 2 — usage/configuration error (unknown design, unwritable output, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..core.experiment import DEFAULT_SEED, POLICY_LABELS
+from ..common.errors import OracleError
+from .fuzzer import WorkloadFuzzer, replay_repro
+
+
+def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach fuzz options to the ``repro fuzz`` subparser."""
+    parser.add_argument("--designs", default="all",
+                        help="comma-separated designs to fuzz, or 'all' "
+                             f"({', '.join(POLICY_LABELS)})")
+    parser.add_argument("--budget", type=int, default=100,
+                        help="number of fuzz inputs to run (default: 100)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"fuzzer RNG seed (default: {DEFAULT_SEED})")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="wall-clock budget; stop starting new inputs "
+                             "after this many seconds")
+    parser.add_argument("--instructions", type=int, default=1000,
+                        help="max trace length per fuzz input "
+                             "(default: 1000)")
+    parser.add_argument("--out-dir", default="tests/repros",
+                        help="where minimized repros are written "
+                             "(default: tests/repros)")
+    parser.add_argument("--replay", default=None, metavar="REPRO_JSON",
+                        help="re-run a minimized repro file instead of "
+                             "fuzzing")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
+
+
+def parse_designs(value: str) -> List[str]:
+    if value.strip() == "all":
+        return list(POLICY_LABELS)
+    designs = [name.strip() for name in value.split(",") if name.strip()]
+    if not designs:
+        raise OracleError("--designs must name at least one design")
+    for design in designs:
+        if design not in POLICY_LABELS:
+            raise OracleError(
+                f"unknown design {design!r}; "
+                f"known: {', '.join(POLICY_LABELS)} (or 'all')")
+    return designs
+
+
+def run_fuzz(args: argparse.Namespace) -> int:
+    if args.replay is not None:
+        report = replay_repro(args.replay)
+        if report.divergence is not None:
+            print(report.divergence)
+            return 1
+        print(f"replay of {args.replay}: no divergence "
+              f"({report.actions} actions)")
+        return 0
+
+    designs = parse_designs(args.designs)
+    fuzzer = WorkloadFuzzer(
+        designs=designs, seed=args.seed, budget=args.budget,
+        max_seconds=args.max_seconds,
+        max_instructions=args.instructions,
+        out_dir=args.out_dir)
+    progress = None if args.quiet else \
+        (lambda line: print("  " + line, file=sys.stderr))
+    result = fuzzer.run(progress=progress)
+
+    print(f"fuzz: {result.runs} runs ({result.skipped} skipped) over "
+          f"{', '.join(designs)}; coverage {len(result.coverage)} signals, "
+          f"corpus {result.corpus_size}")
+    if result.divergence is None:
+        print("fuzz: no divergences")
+        return 0
+    assert result.divergence.divergence is not None
+    print(result.divergence.divergence)
+    minimized = result.minimized_input
+    if minimized is not None:
+        print(f"fuzz: minimized to {minimized.num_instructions} "
+              f"instructions -> {result.repro_path}")
+    return 1

@@ -1,0 +1,410 @@
+"""Coverage-guided workload fuzzer for the differential oracle.
+
+The fuzzer mutates :class:`~repro.workloads.generator.WorkloadProfile`
+parameters (branch density, basic-block sizes, loop nests, call behaviour —
+which together set PW lengths), plus the cache geometry and the SMC probe
+schedule, and replays each generated input through the
+:class:`~repro.oracle.runner.DifferentialRunner`.  Inputs that exercise new
+behavioural signals (telemetry event kinds, fill kinds, entry terminations,
+eviction/invalidation/bypass paths — the run's ``coverage`` set) join the
+corpus and seed further mutation, so the search concentrates on inputs that
+reach new code paths rather than wandering a flat parameter space.
+
+A diverging input is *minimized* before reporting: binary search shrinks the
+trace length to the shortest prefix that still diverges (trace generation is
+prefix-stable in the instruction count), then a greedy pass simplifies the
+profile parameters, re-shrinking the length after each accepted
+simplification.  The minimized repro is written as JSON under
+``tests/repros/`` and can be replayed with :func:`replay_repro` or
+``python -m repro fuzz --replay``.
+
+Everything is seeded: same ``--seed`` + ``--budget`` + designs → the same
+inputs in the same order, byte-identical repro files.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..common.errors import OracleError, WorkloadError
+from ..core.experiment import POLICY_LABELS, policy_config
+from ..workloads.generator import WorkloadProfile, generate_workload
+from .runner import DiffReport, DifferentialRunner
+
+#: Uop cache capacities the fuzzer samples (all valid ``with_capacity_uops``
+#: arguments for the default 8-way x 8-uop geometry, giving 2..16 sets).
+_CAPACITIES = (128, 256, 512, 1024)
+
+#: Trip-count menus the mutator chooses between.
+_TRIP_MENUS = ((2,), (2, 3), (2, 3, 4, 8), (2, 3, 4, 8, 16, 50), (4, 16))
+
+#: Profile fields the mutator may change, with their sampling ranges.
+_DEFAULT_PARAMS: Dict[str, Any] = {
+    "num_functions": 4,
+    "blocks_per_function": (2, 6),
+    "insts_per_block": (1, 8),
+    "loop_fraction": 0.2,
+    "call_fraction": 0.1,
+    "uncond_fraction": 0.08,
+    "indirect_fraction": 0.02,
+    "hard_branch_fraction": 0.1,
+    "easy_taken_bias": 0.5,
+    "loop_trip_counts": (2, 3, 4, 8),
+    "hot_function_zipf": 1.2,
+    "driver_uniform_fraction": 0.2,
+    "phase_length": 0,
+    "indirect_stickiness": 24,
+}
+
+
+@dataclass(frozen=True)
+class FuzzInput:
+    """One fuzzed test case: everything needed to rebuild the exact run."""
+
+    design: str
+    profile_params: Tuple[Tuple[str, Any], ...]
+    gen_seed: int = 1
+    walk_seed: int = 7
+    num_instructions: int = 600
+    capacity_uops: int = 256
+    max_entries_per_line: int = 2
+    smc_interval: int = 0
+    smc_seed: int = 0
+
+    def params(self) -> Dict[str, Any]:
+        return dict(self.profile_params)
+
+    def with_params(self, params: Dict[str, Any],
+                    **overrides: Any) -> "FuzzInput":
+        values = self.to_dict()
+        values["profile_params"] = params
+        values.update(overrides)
+        return FuzzInput.from_dict(values)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "design": self.design,
+            "profile_params": self.params(),
+            "gen_seed": self.gen_seed,
+            "walk_seed": self.walk_seed,
+            "num_instructions": self.num_instructions,
+            "capacity_uops": self.capacity_uops,
+            "max_entries_per_line": self.max_entries_per_line,
+            "smc_interval": self.smc_interval,
+            "smc_seed": self.smc_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzInput":
+        params = data["profile_params"]
+        normalized = tuple(sorted(
+            (key, tuple(value) if isinstance(value, list) else value)
+            for key, value in dict(params).items()))
+        return cls(
+            design=data["design"],
+            profile_params=normalized,
+            gen_seed=int(data.get("gen_seed", 1)),
+            walk_seed=int(data.get("walk_seed", 7)),
+            num_instructions=int(data.get("num_instructions", 600)),
+            capacity_uops=int(data.get("capacity_uops", 256)),
+            max_entries_per_line=int(data.get("max_entries_per_line", 2)),
+            smc_interval=int(data.get("smc_interval", 0)),
+            smc_seed=int(data.get("smc_seed", 0)),
+        )
+
+
+def build_profile(fuzz_input: FuzzInput) -> WorkloadProfile:
+    """Materialize the profile (raises WorkloadError on invalid params)."""
+    return WorkloadProfile(name="fuzz", **fuzz_input.params())
+
+
+def run_input(fuzz_input: FuzzInput,
+              check_interval: int = 64) -> DiffReport:
+    """Differentially run one fuzz input; never raises on divergence."""
+    if fuzz_input.design not in POLICY_LABELS:
+        raise OracleError(
+            f"unknown design {fuzz_input.design!r}; "
+            f"known: {', '.join(POLICY_LABELS)}")
+    profile = build_profile(fuzz_input)
+    workload = generate_workload(profile, seed=fuzz_input.gen_seed)
+    trace = workload.trace(fuzz_input.num_instructions,
+                           seed=fuzz_input.walk_seed)
+    config = policy_config(fuzz_input.design, fuzz_input.capacity_uops,
+                           fuzz_input.max_entries_per_line)
+    runner = DifferentialRunner(
+        trace, config, config_label=fuzz_input.design,
+        smc_interval=fuzz_input.smc_interval,
+        smc_seed=fuzz_input.smc_seed,
+        check_interval=check_interval)
+    return runner.run()
+
+
+# ---------------------------------------------------------------- mutation
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+def _mutate_params(rng: random.Random,
+                   params: Dict[str, Any]) -> Dict[str, Any]:
+    """Jitter 1-3 profile parameters, keeping the profile valid."""
+    out = dict(params)
+    for _ in range(rng.randint(1, 3)):
+        key = rng.choice(sorted(_DEFAULT_PARAMS))
+        if key == "num_functions":
+            out[key] = rng.randint(1, 24)
+        elif key == "blocks_per_function":
+            lo, hi = sorted((rng.randint(1, 8), rng.randint(1, 8)))
+            out[key] = (lo, hi)
+        elif key == "insts_per_block":
+            lo, hi = sorted((rng.randint(1, 12), rng.randint(1, 12)))
+            out[key] = (lo, hi)
+        elif key in ("loop_fraction", "call_fraction",
+                     "uncond_fraction", "indirect_fraction"):
+            out[key] = round(_clamp(rng.uniform(0.0, 0.35), 0.0, 0.35), 3)
+        elif key == "hard_branch_fraction":
+            out[key] = round(rng.uniform(0.0, 0.5), 3)
+        elif key == "easy_taken_bias":
+            out[key] = round(rng.uniform(0.0, 1.0), 3)
+        elif key == "loop_trip_counts":
+            out[key] = rng.choice(_TRIP_MENUS)
+        elif key == "hot_function_zipf":
+            out[key] = round(rng.uniform(0.8, 1.5), 3)
+        elif key == "driver_uniform_fraction":
+            out[key] = round(rng.uniform(0.0, 0.5), 3)
+        elif key == "phase_length":
+            out[key] = rng.choice((0, 0, 250, 500, 1500))
+        elif key == "indirect_stickiness":
+            out[key] = rng.randint(1, 32)
+    # Terminator fractions must sum to <= 1.0; rescale when mutation
+    # overshoots instead of rejecting the input.
+    total = (out["loop_fraction"] + out["call_fraction"] +
+             out["uncond_fraction"] + out["indirect_fraction"])
+    if total > 0.95:
+        scale = 0.95 / total
+        for key in ("loop_fraction", "call_fraction",
+                    "uncond_fraction", "indirect_fraction"):
+            out[key] = round(out[key] * scale, 4)
+    return out
+
+
+def mutate(rng: random.Random, parent: FuzzInput, design: str,
+           max_instructions: int = 1000) -> FuzzInput:
+    """Derive a new input from ``parent`` for the given design."""
+    params = _mutate_params(rng, parent.params())
+    smc_interval = rng.choice((0, 0, 16, 48, 128))
+    return FuzzInput(
+        design=design,
+        profile_params=tuple(sorted(params.items())),
+        gen_seed=rng.randint(1, 1 << 16),
+        walk_seed=rng.randint(1, 1 << 16),
+        num_instructions=rng.randint(100, max_instructions),
+        capacity_uops=rng.choice(_CAPACITIES),
+        max_entries_per_line=rng.choice((2, 2, 3, 4)),
+        smc_interval=smc_interval,
+        smc_seed=rng.randint(0, 1 << 16),
+    )
+
+
+# ------------------------------------------------------------ minimization
+
+#: Candidate simplifications the greedy minimizer tries, in order.
+_SHRINK_CANDIDATES: Tuple[Tuple[str, Tuple[Any, ...]], ...] = (
+    ("num_functions", (1, 2)),
+    ("blocks_per_function", ((1, 2), (2, 3))),
+    ("insts_per_block", ((1, 4), (2, 6))),
+    ("phase_length", (0,)),
+    ("indirect_fraction", (0.0,)),
+    ("uncond_fraction", (0.0,)),
+    ("call_fraction", (0.0,)),
+    ("loop_fraction", (0.0,)),
+    ("hard_branch_fraction", (0.0,)),
+)
+
+
+def _shrink_instructions(fuzz_input: FuzzInput,
+                         budget: List[int]) -> Tuple[FuzzInput, DiffReport]:
+    """Binary-search the shortest still-diverging trace prefix."""
+    report = run_input(fuzz_input)
+    if report.divergence is None:
+        raise OracleError("cannot minimize an input that does not diverge")
+    best_input, best_report = fuzz_input, report
+    lo, hi = 1, fuzz_input.num_instructions
+    while lo < hi and budget[0] > 0:
+        mid = (lo + hi) // 2
+        budget[0] -= 1
+        candidate = fuzz_input.with_params(
+            fuzz_input.params(), num_instructions=mid)
+        candidate_report = run_input(candidate)
+        if candidate_report.divergence is not None:
+            best_input, best_report = candidate, candidate_report
+            hi = mid
+        else:
+            lo = mid + 1
+    return best_input, best_report
+
+
+def minimize(fuzz_input: FuzzInput,
+             max_runs: int = 80) -> Tuple[FuzzInput, DiffReport]:
+    """Shrink a diverging input; returns the smallest found + its report."""
+    budget = [max_runs]
+    best_input, best_report = _shrink_instructions(fuzz_input, budget)
+    for key, candidates in _SHRINK_CANDIDATES:
+        for value in candidates:
+            if budget[0] <= 0:
+                break
+            params = best_input.params()
+            if params.get(key) == value:
+                continue
+            params[key] = value
+            budget[0] -= 1
+            try:
+                candidate = best_input.with_params(params)
+                build_profile(candidate)
+                candidate_report = run_input(candidate)
+            except WorkloadError:
+                continue
+            if candidate_report.divergence is not None:
+                best_input, best_report = candidate, candidate_report
+                break
+    if budget[0] > 0:
+        best_input, best_report = _shrink_instructions(best_input, budget)
+    return best_input, best_report
+
+
+# ------------------------------------------------------------- repro files
+
+def write_repro(path: Union[str, Path], fuzz_input: FuzzInput,
+                report: DiffReport) -> Path:
+    """Write a replayable JSON repro for a minimized diverging input."""
+    if report.divergence is None:
+        raise OracleError("refusing to write a repro without a divergence")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "input": fuzz_input.to_dict(),
+        "divergence": report.divergence.to_dict(),
+        "actions": report.actions,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def replay_repro(path: Union[str, Path]) -> DiffReport:
+    """Re-run a repro file's input and return the fresh report."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return run_input(FuzzInput.from_dict(data["input"]))
+
+
+# -------------------------------------------------------------- fuzz loop
+
+#: Corpus seeds: three behaviourally distinct starting points (dense loopy
+#: code, branchy sprawling code, call-heavy phased code).
+_CORPUS_SEEDS: Tuple[Dict[str, Any], ...] = (
+    dict(_DEFAULT_PARAMS),
+    {**_DEFAULT_PARAMS, "num_functions": 12, "insts_per_block": (1, 4),
+     "hard_branch_fraction": 0.35, "loop_fraction": 0.05,
+     "indirect_fraction": 0.1},
+    {**_DEFAULT_PARAMS, "num_functions": 8, "call_fraction": 0.3,
+     "phase_length": 400, "insts_per_block": (2, 10),
+     "loop_trip_counts": (2, 3)},
+)
+
+
+@dataclass
+class FuzzResult:
+    """Summary of one fuzzing session."""
+
+    runs: int = 0
+    skipped: int = 0
+    corpus_size: int = 0
+    coverage: Set[str] = field(default_factory=set)
+    divergence: Optional[DiffReport] = None
+    diverging_input: Optional[FuzzInput] = None
+    minimized_input: Optional[FuzzInput] = None
+    repro_path: Optional[Path] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+
+class WorkloadFuzzer:
+    """Coverage-guided differential fuzzing over generator parameters."""
+
+    def __init__(self, designs: Sequence[str], seed: int = 7,
+                 budget: int = 100, max_seconds: Optional[float] = None,
+                 max_instructions: int = 1000,
+                 out_dir: Union[str, Path] = "tests/repros",
+                 minimize_runs: int = 80) -> None:
+        for design in designs:
+            if design not in POLICY_LABELS:
+                raise OracleError(
+                    f"unknown design {design!r}; "
+                    f"known: {', '.join(POLICY_LABELS)}")
+        if not designs:
+            raise OracleError("fuzzing needs at least one design")
+        self.designs = list(designs)
+        self.seed = seed
+        self.budget = budget
+        self.max_seconds = max_seconds
+        self.max_instructions = max_instructions
+        self.out_dir = Path(out_dir)
+        self.minimize_runs = minimize_runs
+
+    def run(self, progress=None) -> FuzzResult:
+        rng = random.Random(self.seed)
+        corpus: List[Dict[str, Any]] = [dict(seed_params)
+                                        for seed_params in _CORPUS_SEEDS]
+        session = FuzzResult()
+        started = time.monotonic()
+
+        for iteration in range(self.budget):
+            if self.max_seconds is not None and \
+                    time.monotonic() - started > self.max_seconds:
+                break
+            design = self.designs[iteration % len(self.designs)]
+            parent_params = rng.choice(corpus)
+            parent = FuzzInput(design=design, profile_params=tuple(
+                sorted(parent_params.items())))
+            candidate = mutate(rng, parent, design,
+                               max_instructions=self.max_instructions)
+            try:
+                build_profile(candidate)
+                report = run_input(candidate)
+            except WorkloadError:
+                # Valid-looking parameters can still fail at generation
+                # time (e.g. degenerate block layouts); skip, don't crash.
+                session.skipped += 1
+                continue
+            session.runs += 1
+            design_coverage = {f"{design}:{signal}"
+                               for signal in report.coverage}
+            novel = design_coverage - session.coverage
+            if novel:
+                session.coverage |= design_coverage
+                corpus.append(candidate.params())
+            if progress is not None and \
+                    (novel or session.runs % 25 == 0):
+                progress(f"run {session.runs}/{self.budget} "
+                         f"[{design}] coverage={len(session.coverage)} "
+                         f"corpus={len(corpus)}")
+            if report.divergence is not None:
+                session.diverging_input = candidate
+                minimized, min_report = minimize(
+                    candidate, max_runs=self.minimize_runs)
+                session.minimized_input = minimized
+                session.divergence = min_report
+                session.repro_path = write_repro(
+                    self.out_dir / f"divergence-{design}-"
+                    f"seed{self.seed}-run{session.runs}.json",
+                    minimized, min_report)
+                break
+        session.corpus_size = len(corpus)
+        return session

@@ -1,0 +1,373 @@
+"""Naive, obviously-correct reference models for the differential oracle.
+
+These classes re-implement the uop cache and the accumulation buffer the
+simple way: per-set lists of entry lists, linear search on every probe, LRU
+tracked with monotonically increasing touch stamps, and every derived
+quantity (sizes, imm/disp counts, covered I-cache lines) recomputed from
+scratch on demand.  No index dicts, no incremental byte accounting, no
+recency-order lists — the data structures are chosen so a reader can check
+each method against the paper's prose directly, at the cost of asymptotic
+slowness the oracle does not care about.
+
+Shared with the optimized code: only the ISA types (:class:`repro.isa.uop.Uop`
+and the :func:`repro.isa.uop.uops_storage_bytes` sizing rule) and the
+configuration dataclasses.  Everything behavioural is re-derived here so a
+bug in the optimized structures cannot be mirrored by construction.
+
+Semantics mirrored (see ``repro/uopcache/cache.py`` and ``builder.py``):
+
+- fills are tagged ALLOC / RAC / PWAC / F-PWAC / DUPLICATE with the same
+  policy ladder (same-PW line first, forced merge under F-PWAC, then the
+  MRU-most line with room, then LRU allocation);
+- LRU victim selection prefers the lowest-numbered empty way, else the
+  least-recently-touched way, with untouched ways ordered by way index;
+- SMC invalidating probes search the line's own set plus, under CLASP, the
+  sets of the up-to ``clasp_max_lines - 1`` preceding lines, in ascending
+  set order;
+- accumulation seals entries on non-sequential flow, I-cache line boundary
+  (relaxed by CLASP), content limits in the order max-uops / max-imm-disp /
+  max-ucode / line-full, and predicted-taken branches; single instructions
+  that overflow a fresh entry bypass the cache entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import CompactionPolicy, UopCacheConfig
+from ..common.errors import OracleError
+from ..isa.uop import Uop, uops_storage_bytes
+
+
+@dataclass(frozen=True)
+class RefEntry:
+    """One reference-model cache entry (plain data, no behaviour)."""
+
+    start_pc: int
+    end_pc: int
+    pw_id: int
+    uops: Tuple[Uop, ...]
+    termination: str
+
+    @property
+    def num_uops(self) -> int:
+        return len(self.uops)
+
+    def size_bytes(self, config: UopCacheConfig) -> int:
+        return uops_storage_bytes(self.uops, config.uop_bytes,
+                                  config.imm_disp_bytes)
+
+    def covered_lines(self, line_bytes: int) -> List[int]:
+        """I-cache line addresses of the covered instructions' start bytes."""
+        return sorted({(uop.pc // line_bytes) * line_bytes
+                       for uop in self.uops})
+
+
+class _RefLine:
+    """One physical line: entries plus the stamp of its last touch."""
+
+    def __init__(self, initial_stamp: int) -> None:
+        self.entries: List[RefEntry] = []
+        self.stamp = initial_stamp
+
+
+class ReferenceUopCache:
+    """Dict-free, linear-search re-implementation of the uop cache."""
+
+    def __init__(self, config: UopCacheConfig,
+                 icache_line_bytes: int = 64) -> None:
+        self.config = config
+        self.icache_line_bytes = icache_line_bytes
+        # Way i starts with stamp i - associativity: all negative (older than
+        # any real touch) and increasing with way index, which reproduces the
+        # optimized TrueLru's initial [0, 1, ..., n-1] recency order.
+        self._sets: List[List[_RefLine]] = [
+            [_RefLine(way - config.associativity)
+             for way in range(config.associativity)]
+            for _ in range(config.num_sets)]
+        self._tick = 0
+        self.counters: Dict[str, int] = {
+            "hits": 0, "misses": 0, "fills": 0, "uops_delivered": 0,
+            "duplicate_fills": 0, "evicted_entries": 0,
+            "invalidated_entries": 0,
+        }
+        self.fill_kinds: Dict[str, int] = {
+            kind: 0 for kind in ("alloc", "rac", "pwac", "f-pwac",
+                                 "duplicate")}
+        self.termination_counts: Dict[str, int] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _touch(self, line: _RefLine) -> None:
+        self._tick += 1
+        line.stamp = self._tick
+
+    def set_index(self, pc: int) -> int:
+        return (pc // self.icache_line_bytes) % self.config.num_sets
+
+    def _find(self, pc: int) -> Optional[Tuple[_RefLine, RefEntry]]:
+        for line in self._sets[self.set_index(pc)]:
+            for entry in line.entries:
+                if entry.start_pc == pc:
+                    return line, entry
+        return None
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, pc: int) -> Optional[RefEntry]:
+        found = self._find(pc)
+        if found is None:
+            self.counters["misses"] += 1
+            return None
+        line, entry = found
+        self._touch(line)
+        self.counters["hits"] += 1
+        self.counters["uops_delivered"] += entry.num_uops
+        return entry
+
+    # -- fill ----------------------------------------------------------------
+
+    def fill(self, entry: RefEntry) -> str:
+        """Install one sealed entry; returns the fill kind label."""
+        cfg = self.config
+        if entry.size_bytes(cfg) > cfg.usable_line_bytes:
+            raise OracleError(
+                f"reference fill at {entry.start_pc:#x} exceeds line capacity")
+        if self._find(entry.start_pc) is not None:
+            self.counters["duplicate_fills"] += 1
+            self.fill_kinds["duplicate"] += 1
+            return "duplicate"
+        self.termination_counts[entry.termination] = \
+            self.termination_counts.get(entry.termination, 0) + 1
+
+        set_index = self.set_index(entry.start_pc)
+        if cfg.compaction is CompactionPolicy.NONE:
+            kind = self._fill_alloc(set_index, entry)
+        else:
+            kind = self._fill_compacting(set_index, entry)
+        self.counters["fills"] += 1
+        self.fill_kinds[kind] += 1
+        return kind
+
+    def _ways_mru_first(self, set_index: int) -> List[_RefLine]:
+        return sorted(self._sets[set_index],
+                      key=lambda line: line.stamp, reverse=True)
+
+    def _accepts(self, line: _RefLine, entry: RefEntry) -> bool:
+        cfg = self.config
+        if not line.entries:
+            return False
+        if len(line.entries) >= cfg.max_entries_per_line:
+            return False
+        used = sum(resident.size_bytes(cfg) for resident in line.entries)
+        return cfg.usable_line_bytes - used >= entry.size_bytes(cfg)
+
+    def _fill_alloc(self, set_index: int, entry: RefEntry) -> str:
+        victim = None
+        for line in self._sets[set_index]:       # lowest-numbered empty way
+            if not line.entries:
+                victim = line
+                break
+        if victim is None:                        # least recently touched way
+            victim = min(self._sets[set_index], key=lambda line: line.stamp)
+        self._evict(set_index, victim)
+        victim.entries.append(entry)
+        self._touch(victim)
+        return "alloc"
+
+    def _fill_compacting(self, set_index: int, entry: RefEntry) -> str:
+        cfg = self.config
+        if cfg.compaction in (CompactionPolicy.PWAC, CompactionPolicy.F_PWAC):
+            buddy = None
+            for line in self._ways_mru_first(set_index):
+                if any(resident.pw_id == entry.pw_id
+                       for resident in line.entries):
+                    buddy = line
+                    break
+            if buddy is not None:
+                if self._accepts(buddy, entry):
+                    buddy.entries.append(entry)
+                    self._touch(buddy)
+                    return "pwac"
+                if cfg.compaction is CompactionPolicy.F_PWAC and \
+                        self._force_pw_merge(set_index, buddy, entry):
+                    return "f-pwac"
+        for line in self._ways_mru_first(set_index):
+            if self._accepts(line, entry):
+                line.entries.append(entry)
+                self._touch(line)
+                return "rac"
+        return self._fill_alloc(set_index, entry)
+
+    def _force_pw_merge(self, set_index: int, buddy: _RefLine,
+                        entry: RefEntry) -> bool:
+        cfg = self.config
+        same_pw = [e for e in buddy.entries if e.pw_id == entry.pw_id]
+        foreign = [e for e in buddy.entries if e.pw_id != entry.pw_id]
+        if not foreign:
+            return False
+        merged_bytes = sum(e.size_bytes(cfg) for e in same_pw) + \
+            entry.size_bytes(cfg)
+        if merged_bytes > cfg.usable_line_bytes or \
+                len(same_pw) + 1 > cfg.max_entries_per_line:
+            return False
+        if cfg.associativity < 2:
+            return False
+        # Victim: the least-recently-touched line other than the buddy
+        # (empty-way preference does not apply here; the optimized code walks
+        # the raw recency order, which includes invalid ways).
+        victim = min((line for line in self._sets[set_index]
+                      if line is not buddy), key=lambda line: line.stamp)
+        self._evict(set_index, victim)
+        victim.entries = list(foreign)
+        buddy.entries = list(same_pw)
+        buddy.entries.append(entry)
+        self._touch(victim)
+        self._touch(buddy)
+        return True
+
+    # -- eviction / invalidation --------------------------------------------
+
+    def _evict(self, set_index: int, line: _RefLine) -> None:
+        self.counters["evicted_entries"] += len(line.entries)
+        line.entries = []
+
+    def invalidate_icache_line(self, line_address: int) -> int:
+        line_address = (line_address // self.icache_line_bytes) * \
+            self.icache_line_bytes
+        probes = {self.set_index(line_address)}
+        if self.config.clasp:
+            for back in range(1, self.config.clasp_max_lines):
+                probes.add(self.set_index(
+                    line_address - back * self.icache_line_bytes))
+        removed = 0
+        for set_index in sorted(probes):
+            for line in self._sets[set_index]:
+                keep = [entry for entry in line.entries
+                        if line_address not in
+                        entry.covered_lines(self.icache_line_bytes)]
+                removed += len(line.entries) - len(keep)
+                line.entries = keep
+        self.counters["invalidated_entries"] += removed
+        return removed
+
+    # -- structural view -----------------------------------------------------
+
+    def resident_tags(self) -> List[List[Tuple[int, int, int, int]]]:
+        """Same shape as :meth:`repro.uopcache.cache.UopCache.resident_tags`."""
+        out: List[List[Tuple[int, int, int, int]]] = []
+        for ways in self._sets:
+            tags = sorted((entry.start_pc, entry.end_pc, entry.pw_id,
+                           entry.num_uops)
+                          for line in ways for entry in line.entries)
+            out.append(tags)
+        return out
+
+
+class ReferenceAccumulator:
+    """Recompute-everything re-implementation of the accumulation buffer.
+
+    Holds the open entry as a list of per-instruction uop groups and derives
+    the limit checks from the full list on every push, instead of keeping
+    incremental counters like the optimized ``EntryBuilder``.
+    """
+
+    def __init__(self, config: UopCacheConfig,
+                 icache_line_bytes: int = 64) -> None:
+        self.config = config
+        self.icache_line_bytes = icache_line_bytes
+        self._groups: List[Tuple[Uop, ...]] = []
+        self._start_pc = 0
+        self._first_line = 0
+        self._end_pc = 0
+        self._pw_id = 0
+        # The PW identity an entry carries is the one current when the entry
+        # OPENED, not when it sealed (entries may stay open across actions).
+        self._open_pw_id = 0
+        self.bypassed_uops = 0
+
+    def begin(self, pw_id: int) -> None:
+        self._pw_id = pw_id
+
+    def _violation(self, inst_uops: Sequence[Uop]) -> Optional[str]:
+        """The limit a would-be add violates, in the optimized check order."""
+        cfg = self.config
+        current = [uop for group in self._groups for uop in group]
+        if len(current) + len(inst_uops) > cfg.max_uops_per_entry:
+            return "max-uops"
+        num_imm = sum(1 for uop in current + list(inst_uops)
+                      if uop.has_imm_disp)
+        if num_imm > cfg.max_imm_disp_per_entry:
+            return "max-imm-disp"
+        if inst_uops[0].is_microcoded:
+            ucoded = {uop.pc for uop in current if uop.is_microcoded}
+            ucoded.add(inst_uops[0].pc)
+            if len(ucoded) > cfg.max_ucoded_per_entry:
+                return "max-ucode"
+        total_bytes = uops_storage_bytes(
+            current + list(inst_uops), cfg.uop_bytes, cfg.imm_disp_bytes)
+        if total_bytes > cfg.usable_line_bytes:
+            return "line-full"
+        return None
+
+    def _line_boundary_violation(self, line: int) -> bool:
+        if line == self._first_line:
+            return False
+        if not self.config.clasp:
+            return True
+        span = line - self._first_line + 1
+        return span > self.config.clasp_max_lines or line < self._first_line
+
+    def _seal(self, termination: str) -> RefEntry:
+        entry = RefEntry(
+            start_pc=self._start_pc,
+            end_pc=self._end_pc,
+            pw_id=self._open_pw_id,
+            uops=tuple(uop for group in self._groups for uop in group),
+            termination=termination,
+        )
+        self._groups = []
+        return entry
+
+    def push(self, inst_uops: Sequence[Uop], taken: bool) -> List[RefEntry]:
+        """Feed one decoded instruction; returns entries it sealed."""
+        if not inst_uops:
+            raise OracleError("push requires at least one uop")
+        sealed: List[RefEntry] = []
+        pc = inst_uops[0].pc
+        line = pc // self.icache_line_bytes
+
+        if self._groups:
+            if pc != self._end_pc:
+                sealed.append(self._seal("pw-end"))
+            elif self._line_boundary_violation(line):
+                sealed.append(self._seal("icache-line-boundary"))
+            else:
+                violation = self._violation(inst_uops)
+                if violation is not None:
+                    sealed.append(self._seal(violation))
+
+        if not self._groups:
+            self._start_pc = pc
+            self._first_line = line
+            self._end_pc = pc
+            self._open_pw_id = self._pw_id
+
+        if self._violation(inst_uops) is not None:
+            # Oversized single instruction: never cached (microcode sequencer).
+            self._groups = []
+            self.bypassed_uops += len(inst_uops)
+            return sealed
+
+        self._groups.append(tuple(inst_uops))
+        self._end_pc = inst_uops[0].next_sequential_pc
+        if taken:
+            sealed.append(self._seal("taken-branch"))
+        return sealed
+
+    def flush(self) -> List[RefEntry]:
+        """Seal any partial entry (end of accumulation run)."""
+        if not self._groups:
+            return []
+        return [self._seal("pw-end")]

@@ -59,6 +59,13 @@ class RingBufferSink(TelemetrySink):
         """Events overwritten by the ring's capacity bound."""
         return self.accepted - len(self._events)
 
+    def tail(self, count: int) -> List[TelemetryEvent]:
+        """The most recent ``count`` events, oldest first."""
+        if count <= 0:
+            return []
+        events = list(self._events)
+        return events[-count:]
+
     def __len__(self) -> int:
         return len(self._events)
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..common.config import CompactionPolicy, UopCacheConfig
 from ..common.errors import CacheError
@@ -370,6 +370,22 @@ class UopCache:
         return self._fills.value
 
     @property
+    def duplicate_fills(self) -> int:
+        return self._duplicate_fills.value
+
+    @property
+    def evicted_entries(self) -> int:
+        return self._evicted_entries.value
+
+    @property
+    def invalidated_entries(self) -> int:
+        return self._invalidated_entries.value
+
+    @property
+    def uops_delivered(self) -> int:
+        return self._uops_delivered.value
+
+    @property
     def fill_kind_counts(self) -> Dict[FillKind, int]:
         return dict(self._fill_kind_counts)
 
@@ -394,6 +410,21 @@ class UopCache:
     def compacted_fill_fraction(self) -> float:
         return self._compacted_fills.value / self._fills.value \
             if self._fills.value else 0.0
+
+    def resident_tags(self) -> List[List[Tuple[int, int, int, int]]]:
+        """Per-set sorted ``(start_pc, end_pc, pw_id, num_uops)`` tuples.
+
+        The structural-state view the differential oracle compares against
+        its reference model; deliberately excludes way placement and recency
+        (those are implementation detail the reference models differently).
+        """
+        out: List[List[Tuple[int, int, int, int]]] = []
+        for ways in self._sets:
+            tags = sorted((entry.start_pc, entry.end_pc, entry.pw_id,
+                           entry.num_uops)
+                          for line in ways for entry in line.entries)
+            out.append(tags)
+        return out
 
     def resident_entries(self) -> int:
         return sum(len(line.entries)

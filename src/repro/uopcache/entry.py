@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..common.config import UopCacheConfig
 from ..common.errors import CacheError
-from ..isa.uop import Uop
+from ..isa.uop import Uop, uops_storage_bytes
 
 _entry_ids = itertools.count()
 
@@ -73,8 +73,8 @@ class UopCacheEntry:
 
     def size_bytes(self, config: UopCacheConfig) -> int:
         """Storage footprint in the line: uop slots plus imm/disp slots."""
-        return (self.num_uops * config.uop_bytes +
-                self.num_imm_disp * config.imm_disp_bytes)
+        return uops_storage_bytes(self.uops, config.uop_bytes,
+                                  config.imm_disp_bytes)
 
     def icache_lines(self, line_bytes: int = 64) -> Tuple[int, ...]:
         """I-cache line addresses of the instruction *start* bytes covered."""

@@ -1,0 +1,138 @@
+"""Property-based tests for CLASP entry fusion (hypothesis).
+
+CLASP (Cache Line boundary AgnoStic uoP cache design, paper Section IV)
+lets one entry fuse uops from consecutive I-cache lines.  These properties
+pin the three guarantees the design depends on:
+
+- a fused entry never covers more than ``clasp_max_lines`` consecutive
+  I-cache lines;
+- fusion is transparent: the uops of a sealed entry are exactly the pushed
+  uops, in program order, none duplicated or dropped;
+- SMC invalidation dissolves every entry overlapping the written line, and
+  the cache remains servable (refill + hit) afterwards.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import UopCacheConfig
+from repro.uopcache.builder import AccumulationBuffer
+from repro.uopcache.cache import UopCache
+
+from helpers import make_entry, make_uops, small_oc_config
+
+pytestmark = pytest.mark.tier1
+
+SLOW = settings(max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow],
+                deadline=None)
+
+LINE = 64
+
+inst_strategy = st.tuples(
+    st.integers(1, 3),      # uop count
+    st.integers(1, 15),     # instruction length
+    st.integers(0, 1),      # imm/disp slots
+    st.booleans(),          # taken
+)
+
+
+def _accumulate(insts, clasp_max_lines, start_pc=0x1000):
+    """Push a synthetic instruction stream; return the sealed entries."""
+    cfg = UopCacheConfig(clasp=True, clasp_max_lines=clasp_max_lines)
+    buf = AccumulationBuffer(cfg, icache_line_bytes=LINE)
+    buf.begin(pw_id=start_pc)
+    sealed = []
+    pushed = []
+    pc = start_pc
+    for count, length, imm, taken in insts:
+        uops = make_uops(pc, count=count, inst_length=length, imm=imm)
+        bypassed_before = buf.bypassed_uops
+        sealed.extend(buf.push(uops, taken=taken))
+        if buf.bypassed_uops == bypassed_before:
+            pushed.extend(uops)
+        pc += length
+    sealed.extend(buf.flush())
+    return sealed, pushed
+
+
+@given(insts=st.lists(inst_strategy, min_size=1, max_size=80),
+       max_lines=st.integers(2, 4))
+@SLOW
+def test_fused_entries_respect_clasp_line_budget(insts, max_lines):
+    sealed, _ = _accumulate(insts, max_lines)
+    for entry in sealed:
+        lines = entry.icache_lines(LINE)
+        assert 1 <= len(lines) <= max_lines
+        # The covered lines are consecutive: fusion extends forward only.
+        assert lines == tuple(range(lines[0],
+                                    lines[0] + LINE * len(lines), LINE))
+
+
+@given(insts=st.lists(inst_strategy, min_size=1, max_size=80),
+       max_lines=st.integers(2, 3))
+@SLOW
+def test_fusion_preserves_uop_order_and_count(insts, max_lines):
+    """Concatenating sealed entries reproduces the pushed uop stream."""
+    sealed, pushed = _accumulate(insts, max_lines)
+    replayed = [uop for entry in sealed for uop in entry.uops]
+    assert replayed == pushed
+
+
+@given(insts=st.lists(inst_strategy, min_size=1, max_size=80))
+@SLOW
+def test_entries_within_one_entry_are_sequential(insts):
+    """Inside one fused entry the instruction byte ranges chain exactly."""
+    sealed, _ = _accumulate(insts, 2)
+    for entry in sealed:
+        next_pc = entry.start_pc
+        for uop in entry.uops:
+            if uop.slot == 0:
+                assert uop.pc == next_pc
+                next_pc = uop.next_sequential_pc
+        assert next_pc == entry.end_pc
+
+
+@given(write_slot=st.integers(0, 7),
+       spans=st.lists(st.tuples(st.integers(0, 7), st.integers(1, 8)),
+                      min_size=1, max_size=24))
+@SLOW
+def test_smc_invalidation_dissolves_and_restores_servable_state(
+        write_slot, spans):
+    """An SMC write kills exactly the overlapping entries; the cache then
+    accepts a refill of the same address and serves it again."""
+    cfg = small_oc_config(clasp=True)
+    cache = UopCache(cfg, icache_line_bytes=LINE)
+    entries = []
+    for slot, num_insts in spans:
+        entry = make_entry(0x1000 + slot * LINE + 8, num_insts=num_insts,
+                           inst_length=10)
+        cache.fill(entry)
+        entries.append(entry)
+    write_pc = 0x1000 + write_slot * LINE
+
+    resident = [entry for ways in cache._sets for line in ways
+                for entry in line.entries]
+    resident_before = {entry.start_pc for entry in resident}
+    # Invalidation keys off instruction *start* bytes (entry.overlaps_line):
+    # an instruction merely straddling into the written line doesn't count.
+    overlapping = {entry.start_pc for entry in resident
+                   if entry.overlaps_line(write_pc, LINE)}
+    removed = cache.invalidate_icache_line(write_pc)
+    cache.check_invariants()
+    assert removed == len(overlapping)
+    survivors = {pc for tags in cache.resident_tags()
+                 for (pc, _e, _p, _n) in tags}
+    assert survivors == resident_before - overlapping
+    for pc in overlapping:
+        assert cache.lookup(pc) is None
+
+    # Refill one dissolved region (fresh decode after the SMC write) and
+    # confirm the cache serves it: dissolution never wedges a set.
+    if overlapping:
+        refill_pc = sorted(overlapping)[0]
+        refill = make_entry(refill_pc, num_insts=2, inst_length=10)
+        cache.fill(refill)
+        cache.check_invariants()
+        assert cache.lookup(refill_pc) is not None

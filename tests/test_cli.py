@@ -126,7 +126,53 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "resumed from checkpoint" in err
 
-    def test_sweep_rejects_bad_workloads(self):
-        with pytest.raises(Exception):
-            main(["sweep-policy", "--workloads", "nope",
-                  "--instructions", "1000"])
+    def test_sweep_rejects_bad_workloads(self, capsys):
+        assert main(["sweep-policy", "--workloads", "nope",
+                     "--instructions", "1000"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+
+
+class TestNegativePaths:
+    """Usage errors exit 2 with a one-line diagnostic, never a traceback."""
+
+    def _assert_one_line_error(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+        return err
+
+    def test_trace_unknown_event_category(self, capsys):
+        assert main(["trace", "bm-x64", "--instructions", "1000",
+                     "--events", "not-a-category",
+                     "--out", "/dev/null"]) == 2
+        err = self._assert_one_line_error(capsys)
+        assert "unknown event category" in err
+
+    def test_trace_bad_format_is_a_parse_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "bm-x64", "--format", "tsv"])
+        assert excinfo.value.code == 2
+
+    def test_trace_unwritable_out(self, capsys, tmp_path):
+        missing = tmp_path / "no-such-dir" / "trace.json"
+        assert main(["trace", "bm-x64", "--instructions", "1000",
+                     "--out", str(missing)]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_fuzz_unknown_design(self, capsys):
+        assert main(["fuzz", "--designs", "magic", "--budget", "1"]) == 2
+        err = self._assert_one_line_error(capsys)
+        assert "unknown design" in err
+
+    def test_fuzz_replay_missing_file(self, capsys, tmp_path):
+        assert main(["fuzz", "--replay",
+                     str(tmp_path / "missing.json")]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_fuzz_smoke_exits_zero(self, capsys, tmp_path):
+        assert main(["fuzz", "--designs", "clasp", "--budget", "2",
+                     "--seed", "7", "--quiet",
+                     "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no divergences" in out

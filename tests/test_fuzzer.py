@@ -1,0 +1,199 @@
+"""Tests for the coverage-guided workload fuzzer (repro.oracle.fuzzer)."""
+
+import json
+import random
+
+import pytest
+
+from repro.common.errors import OracleError
+from repro.oracle import (
+    FuzzInput,
+    WorkloadFuzzer,
+    build_profile,
+    minimize,
+    replay_repro,
+    run_input,
+    write_repro,
+)
+from repro.oracle.fuzzer import _DEFAULT_PARAMS, mutate
+from repro.uopcache.cache import UopCache
+
+
+def _default_input(design="rac", **overrides):
+    values = dict(
+        design=design,
+        profile_params=tuple(sorted(_DEFAULT_PARAMS.items())),
+        num_instructions=400,
+    )
+    values.update(overrides)
+    return FuzzInput(**values)
+
+
+def _break_capacity_check(monkeypatch):
+    """Seeded mutation: compacted lines accept entries past byte capacity."""
+
+    def broken(self, set_index, way, entry):
+        line = self._sets[set_index][way]
+        if not line.valid:
+            return False
+        return len(line.entries) < self.config.max_entries_per_line
+
+    monkeypatch.setattr(UopCache, "_line_accepts", broken)
+
+
+class TestFuzzInput:
+    def test_round_trips_through_json(self):
+        original = _default_input(smc_interval=16, smc_seed=3)
+        data = json.loads(json.dumps(original.to_dict()))
+        assert FuzzInput.from_dict(data) == original
+
+    def test_with_params_overrides(self):
+        base = _default_input()
+        shrunk = base.with_params(base.params(), num_instructions=50)
+        assert shrunk.num_instructions == 50
+        assert shrunk.design == base.design
+
+    def test_build_profile_materializes(self):
+        profile = build_profile(_default_input())
+        assert profile.name == "fuzz"
+
+
+class TestRunInput:
+    def test_clean_tree_has_no_divergence(self):
+        report = run_input(_default_input())
+        assert report.ok, report.divergence
+        assert report.coverage
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(OracleError, match="unknown design"):
+            run_input(_default_input(design="magic"))
+
+    def test_deterministic_for_fixed_input(self):
+        fuzz_input = _default_input()
+        first = run_input(fuzz_input)
+        second = run_input(fuzz_input)
+        assert first.counters == second.counters
+        assert first.coverage == second.coverage
+
+
+class TestMutate:
+    def test_mutation_yields_valid_profiles(self):
+        rng = random.Random(7)
+        parent = _default_input()
+        for _ in range(50):
+            child = mutate(rng, parent, "clasp")
+            build_profile(child)     # must not raise
+            assert child.design == "clasp"
+            assert 100 <= child.num_instructions <= 1000
+
+    def test_mutation_is_seed_deterministic(self):
+        parent = _default_input()
+        a = mutate(random.Random(3), parent, "rac")
+        b = mutate(random.Random(3), parent, "rac")
+        assert a == b
+
+
+class TestFuzzerLoop:
+    @pytest.mark.fuzz
+    def test_smoke_budget_runs_clean(self, tmp_path):
+        fuzzer = WorkloadFuzzer(designs=["clasp", "pwac"], seed=7,
+                                budget=6, out_dir=tmp_path)
+        result = fuzzer.run()
+        assert result.ok
+        assert result.runs + result.skipped == 6
+        assert result.coverage
+        assert not list(tmp_path.iterdir())   # no repro files when clean
+
+    def test_rejects_unknown_design(self, tmp_path):
+        with pytest.raises(OracleError, match="unknown design"):
+            WorkloadFuzzer(designs=["nope"], out_dir=tmp_path)
+
+    def test_rejects_empty_designs(self, tmp_path):
+        with pytest.raises(OracleError, match="at least one"):
+            WorkloadFuzzer(designs=[], out_dir=tmp_path)
+
+    def test_coverage_grows_the_corpus(self, tmp_path):
+        fuzzer = WorkloadFuzzer(designs=["f-pwac"], seed=7, budget=4,
+                                out_dir=tmp_path)
+        result = fuzzer.run()
+        # The three corpus seeds plus at least one coverage-novel input.
+        assert result.corpus_size > 3
+
+
+@pytest.mark.fuzz
+class TestMutationCatching:
+    """Acceptance: a seeded capacity-check bug is caught and minimized."""
+
+    def test_broken_capacity_check_is_caught_and_minimized(
+            self, monkeypatch, tmp_path):
+        _break_capacity_check(monkeypatch)
+        fuzzer = WorkloadFuzzer(designs=["rac"], seed=7, budget=50,
+                                out_dir=tmp_path)
+        result = fuzzer.run()
+        assert not result.ok, "fuzzer missed the seeded capacity bug"
+        assert result.minimized_input is not None
+        assert result.minimized_input.num_instructions < 20
+        assert result.repro_path is not None and result.repro_path.exists()
+        payload = json.loads(result.repro_path.read_text())
+        assert payload["divergence"]["counter"]
+        # The minimized repro must still diverge when replayed against the
+        # (still-broken) tree...
+        replayed = replay_repro(result.repro_path)
+        assert not replayed.ok
+
+    def test_repro_replays_clean_on_fixed_tree(self, monkeypatch, tmp_path):
+        _break_capacity_check(monkeypatch)
+        fuzzer = WorkloadFuzzer(designs=["rac"], seed=7, budget=50,
+                                out_dir=tmp_path)
+        result = fuzzer.run()
+        assert not result.ok
+        monkeypatch.undo()     # ...and stop diverging once the bug is fixed
+        replayed = replay_repro(result.repro_path)
+        assert replayed.ok, replayed.divergence
+
+
+@pytest.mark.fuzz
+class TestFuzzCli:
+    """End-to-end: the bug drill through ``python -m repro fuzz``."""
+
+    def test_divergence_exits_one_and_replays(self, monkeypatch, tmp_path,
+                                              capsys):
+        from repro.cli import main
+
+        _break_capacity_check(monkeypatch)
+        code = main(["fuzz", "--designs", "rac", "--budget", "50",
+                     "--seed", "7", "--quiet", "--out-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "oracle divergence" in out
+        assert "minimized to" in out
+        repro_file = next(tmp_path.glob("divergence-*.json"))
+
+        # Replaying against the still-broken tree reports the divergence...
+        assert main(["fuzz", "--replay", str(repro_file)]) == 1
+        assert "oracle divergence" in capsys.readouterr().out
+
+        # ...and exits clean once the bug is gone.
+        monkeypatch.undo()
+        assert main(["fuzz", "--replay", str(repro_file)]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+
+class TestMinimizeAndRepros:
+    def test_minimize_rejects_clean_inputs(self):
+        with pytest.raises(OracleError, match="does not diverge"):
+            minimize(_default_input(), max_runs=4)
+
+    def test_write_repro_refuses_clean_reports(self, tmp_path):
+        report = run_input(_default_input())
+        with pytest.raises(OracleError, match="without a divergence"):
+            write_repro(tmp_path / "x.json", _default_input(), report)
+
+    def test_minimized_repro_is_byte_deterministic(
+            self, monkeypatch, tmp_path):
+        _break_capacity_check(monkeypatch)
+        first = WorkloadFuzzer(designs=["rac"], seed=7, budget=50,
+                               out_dir=tmp_path / "a").run()
+        second = WorkloadFuzzer(designs=["rac"], seed=7, budget=50,
+                                out_dir=tmp_path / "b").run()
+        assert first.repro_path.read_text() == second.repro_path.read_text()

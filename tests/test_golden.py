@@ -29,6 +29,9 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN_RUNS = [
     ("bm-x64", "baseline", 2500),
     ("bm-lla", "f-pwac", 2500),
+    ("bm-pb", "clasp", 2500),
+    ("redis", "rac", 2500),
+    ("bm-ds", "pwac", 2500),
 ]
 
 

@@ -386,7 +386,8 @@ def test_cli_trace_jsonl_with_category_filter(tmp_path, capsys):
     assert kinds and all(k.startswith("oc_") for k in kinds)
 
 
-def test_cli_trace_rejects_unknown_category(tmp_path):
-    with pytest.raises(ConfigError, match="unknown event category"):
-        main(["trace", "bm-x64", "--events", "bogus",
-              "--out", str(tmp_path / "t.json")])
+def test_cli_trace_rejects_unknown_category(tmp_path, capsys):
+    code = main(["trace", "bm-x64", "--events", "bogus",
+                 "--out", str(tmp_path / "t.json")])
+    assert code == 2
+    assert "unknown event category" in capsys.readouterr().err
