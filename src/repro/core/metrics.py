@@ -44,6 +44,12 @@ class SimulationResult:
     compacted_line_fraction: float = 0.0
     entries_per_pw_histogram: Optional[Histogram] = None
     uop_cache_utilization: float = 0.0
+    # Front-end cycle accounting (where fetch cycles went; together these
+    # bound cycles from below — redirect/backpressure overlap dispatch).
+    fe_cycles_uop_cache: int = 0
+    fe_cycles_decoder: int = 0
+    fe_cycles_redirect: int = 0
+    fe_cycles_backpressure: int = 0
     # Branches.
     branches: int = 0
     branch_mispredicts: int = 0
@@ -140,6 +146,10 @@ class SimulationResult:
                                          if self.entries_per_pw_histogram
                                          else None),
             "uop_cache_utilization": self.uop_cache_utilization,
+            "fe_cycles_uop_cache": self.fe_cycles_uop_cache,
+            "fe_cycles_decoder": self.fe_cycles_decoder,
+            "fe_cycles_redirect": self.fe_cycles_redirect,
+            "fe_cycles_backpressure": self.fe_cycles_backpressure,
             "branches": self.branches,
             "branch_mispredicts": self.branch_mispredicts,
             "decode_resteers": self.decode_resteers,
@@ -171,6 +181,10 @@ class SimulationResult:
                      "mispredict_latency_sum", "l1i_hit_rate",
                      "l1d_hit_rate"):
             setattr(result, name, data[name])
+        for name in ("fe_cycles_uop_cache", "fe_cycles_decoder",
+                     "fe_cycles_redirect", "fe_cycles_backpressure"):
+            # Absent in pre-PR5 checkpoint journals; default to 0 there.
+            setattr(result, name, data.get(name, 0))
         if data.get("entry_size_histogram") is not None:
             result.entry_size_histogram = Histogram.from_dict(
                 data["entry_size_histogram"])

@@ -169,7 +169,6 @@ class Simulator:
         each fetch action, so a coordinator (e.g. the SMT simulator) can
         interleave several hardware threads over shared structures."""
         trace = self.trace
-        program = trace.program
         records = trace.records
         cfg = self.config
         oc = self.uop_cache
@@ -627,6 +626,10 @@ class Simulator:
             "mispredicts": self._mispredicts,
             "resteers": self.bpu.decode_resteers,
             "mispredict_latency_sum": self._mispredict_latency_sum,
+            "fe_cycles_oc": self.fe_cycles_oc,
+            "fe_cycles_ic": self.fe_cycles_ic,
+            "fe_cycles_redirect": self.fe_cycles_redirect,
+            "fe_cycles_backpressure": self.fe_cycles_backpressure,
             "decoded_insts": self.decoder_power.insts_decoded,
             "decoder_active": self.decoder_power.active_cycles,
         }
@@ -669,6 +672,12 @@ class Simulator:
             self.bpu.decode_resteers - base("resteers", 0)
         result.mispredict_latency_sum = \
             self._mispredict_latency_sum - base("mispredict_latency_sum", 0)
+        result.fe_cycles_uop_cache = self.fe_cycles_oc - base("fe_cycles_oc", 0)
+        result.fe_cycles_decoder = self.fe_cycles_ic - base("fe_cycles_ic", 0)
+        result.fe_cycles_redirect = \
+            self.fe_cycles_redirect - base("fe_cycles_redirect", 0)
+        result.fe_cycles_backpressure = \
+            self.fe_cycles_backpressure - base("fe_cycles_backpressure", 0)
         decoded = self.decoder_power.insts_decoded - base("decoded_insts", 0)
         active = self.decoder_power.active_cycles - base("decoder_active", 0)
         measured_power = DecoderPowerModel(self.config.power)

@@ -27,6 +27,8 @@ from .engine import (
 )
 from .finding import Finding, Severity
 from . import rules as _rules  # noqa: F401  (imports register the rule set)
+from . import flowrules as _flowrules  # noqa: F401  (F1-F4)
+from . import contracts as _contracts  # noqa: F401  (X1-X3)
 
 __all__ = [
     "Finding",

@@ -1,0 +1,356 @@
+"""Per-function control-flow graphs for the flow-sensitive lint rules.
+
+A :class:`Cfg` is a list of basic blocks over *elements* — the atoms the
+dataflow analyses transfer over.  Compound statements never appear inside a
+block; only their header expressions do (an ``if`` contributes a ``test``
+element, a ``for`` an ``iter`` element plus a ``bind`` element for the loop
+target), so every element either binds names, uses names, or both, and the
+analyses never need to recurse into control structure.
+
+Modelling choices (kept deliberately simple — simlint trades precision for
+explainability, see DESIGN.md section 12):
+
+- **Loops** get three exit-relevant edges: ``header -> after`` tagged
+  ``zero-trip`` (the body never ran), ``body-end -> header`` (the back edge)
+  and ``body-end -> after`` (the loop exhausted after >= 1 iterations).  A
+  *must* analysis that opts into ``ignore_zero_trip`` thereby assumes loop
+  bodies execute at least once — the pragmatic choice for definite-assignment
+  checking, where the zero-trip path is a different bug class and a noisy one.
+- **try/except**: every block touched inside a ``try`` body gets an edge
+  tagged ``exception`` to every handler entry.  Because a raise can interrupt
+  a block mid-way, *may* analyses propagate ``IN | OUT`` of the source along
+  exception edges and *must* analyses propagate ``IN`` (nothing in the block
+  is guaranteed to have executed).
+- **finally** bodies run on the normal join of try/handler exits; abrupt
+  exits (a ``return`` inside ``try``) skip them in this model.
+- **raise**/``return`` edge to the function exit block (plus, for raises
+  inside a ``try``, the implicit exception edges).  Code after them lands in
+  a fresh, unreachable block, which the analyses see as TOP and skip.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+
+#: Element kinds: ``stmt`` (a simple statement), ``test`` (a branch/loop/
+#: match-subject expression), ``iter`` (a for-loop iterable), ``bind`` (a
+#: for/with/match target expression), ``bind-name`` (an except-handler name).
+ELEMENT_KINDS = ("stmt", "test", "iter", "bind", "bind-name")
+
+
+@dataclass
+class Element:
+    """One atom of a basic block."""
+
+    kind: str
+    node: ast.AST
+    name: Optional[str] = None      # only for "bind-name" elements
+
+
+@dataclass
+class Edge:
+    """A directed edge; ``kind`` is "normal", "zero-trip" or "exception"."""
+
+    dst: int
+    kind: str = "normal"
+
+
+@dataclass
+class Block:
+    """A basic block: elements executed in order, then outgoing edges."""
+
+    id: int
+    elements: List[Element] = field(default_factory=list)
+    edges: List[Edge] = field(default_factory=list)
+
+
+@dataclass
+class Cfg:
+    """The control-flow graph of one function (or a module body)."""
+
+    func: FunctionNode
+    blocks: List[Block]
+    entry: int
+    exit: int
+
+    def predecessors(self) -> List[List[Tuple[int, str]]]:
+        """Per-block list of (source block id, edge kind) pairs."""
+        preds: List[List[Tuple[int, str]]] = [[] for _ in self.blocks]
+        for block in self.blocks:
+            for edge in block.edges:
+                preds[edge.dst].append((block.id, edge.kind))
+        return preds
+
+    def elements(self) -> List[Element]:
+        """Every element, in block order (for def-table construction)."""
+        out: List[Element] = []
+        for block in self.blocks:
+            out.extend(block.elements)
+        return out
+
+
+class _Builder:
+    """Single-pass CFG construction over one function body."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: List[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self.current: Optional[int] = self.entry
+        #: (continue target, break target) per enclosing loop.
+        self._loops: List[Tuple[int, int]] = []
+        #: Blocks touched inside each enclosing try body (for exception edges).
+        self._try_scopes: List[List[int]] = []
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _new_block(self) -> int:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _edge(self, src: int, dst: int, kind: str = "normal") -> None:
+        self.blocks[src].edges.append(Edge(dst=dst, kind=kind))
+
+    def _resume(self) -> int:
+        """The block to append to (a fresh, unreachable one after a jump)."""
+        if self.current is None:
+            self.current = self._new_block()
+            for scope in self._try_scopes:
+                scope.append(self.current)
+        return self.current
+
+    def _emit(self, element: Element) -> None:
+        block = self._resume()
+        self.blocks[block].elements.append(element)
+        for scope in self._try_scopes:
+            if block not in scope:
+                scope.append(block)
+
+    def _jump(self, dst: int, kind: str = "normal") -> None:
+        """Terminate the current block with an edge to ``dst``."""
+        if self.current is not None:
+            self._edge(self.current, dst, kind)
+        self.current = None
+
+    # -- statement dispatch --------------------------------------------------
+
+    def build(self) -> Cfg:
+        self._statements(self.func.body)
+        if self.current is not None:
+            self._edge(self.current, self.exit)
+        return Cfg(func=self.func, blocks=self.blocks,
+                   entry=self.entry, exit=self.exit)
+
+    def _statements(self, body: Sequence[ast.stmt]) -> None:
+        for statement in body:
+            self._statement(statement)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Try) or (
+                hasattr(ast, "TryStar") and
+                isinstance(stmt, getattr(ast, "TryStar"))):
+            self._try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt)
+        elif hasattr(ast, "Match") and isinstance(stmt, getattr(ast, "Match")):
+            self._match(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._emit(Element("stmt", stmt))
+            self._jump(self.exit)
+        elif isinstance(stmt, ast.Raise):
+            self._emit(Element("stmt", stmt))
+            self._jump(self.exit)
+        elif isinstance(stmt, ast.Break):
+            self._emit(Element("stmt", stmt))
+            self._jump(self._loops[-1][1] if self._loops else self.exit)
+        elif isinstance(stmt, ast.Continue):
+            self._emit(Element("stmt", stmt))
+            self._jump(self._loops[-1][0] if self._loops else self.exit)
+        else:
+            # Simple statement (including nested function/class definitions,
+            # whose bodies get their own CFGs and are opaque here).
+            self._emit(Element("stmt", stmt))
+
+    # -- compound statements -------------------------------------------------
+
+    def _if(self, stmt: ast.If) -> None:
+        self._emit(Element("test", stmt.test))
+        head = self.current
+        assert head is not None
+        after = self._new_block()
+
+        self.current = self._new_block()
+        self._edge(head, self.current)
+        self._statements(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, after)
+
+        if stmt.orelse:
+            self.current = self._new_block()
+            self._edge(head, self.current)
+            self._statements(stmt.orelse)
+            if self.current is not None:
+                self._edge(self.current, after)
+        else:
+            self._edge(head, after)
+        self.current = after
+
+    def _loop_exits(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+                    header: int, after: int) -> int:
+        """Route loop-exit edges through the ``else`` clause when present;
+        returns the block the header's zero-trip edge should target."""
+        if not stmt.orelse:
+            return after
+        orelse = self._new_block()
+        saved = self.current
+        self.current = orelse
+        self._statements(stmt.orelse)
+        if self.current is not None:
+            self._edge(self.current, after)
+        self.current = saved
+        return orelse
+
+    def _while(self, stmt: ast.While) -> None:
+        header = self._new_block()
+        self._jump(header)
+        self.current = header
+        self._emit(Element("test", stmt.test))
+        header = self._resume()   # test may not have split; normalize
+
+        after = self._new_block()
+        exit_target = self._loop_exits(stmt, header, after)
+        self._edge(header, exit_target, "zero-trip")
+
+        body = self._new_block()
+        self._edge(header, body)
+        self._loops.append((header, after))
+        self.current = body
+        self._statements(stmt.body)
+        if self.current is not None:
+            # Back edge plus the ">= 1 iterations then the test failed" exit.
+            self._edge(self.current, header)
+            self._edge(self.current, exit_target)
+        self._loops.pop()
+        self.current = after
+
+    def _for(self, stmt: Union[ast.For, ast.AsyncFor]) -> None:
+        self._emit(Element("iter", stmt.iter))
+        header = self.current
+        assert header is not None
+
+        after = self._new_block()
+        exit_target = self._loop_exits(stmt, header, after)
+        self._edge(header, exit_target, "zero-trip")
+
+        bind = self._new_block()
+        self._edge(header, bind)
+        self.blocks[bind].elements.append(Element("bind", stmt.target))
+        self._loops.append((bind, after))
+        self.current = bind
+        self._statements(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, bind)
+            self._edge(self.current, exit_target)
+        self._loops.pop()
+        self.current = after
+
+    def _try(self, stmt: ast.stmt) -> None:
+        handlers: List[ast.ExceptHandler] = getattr(stmt, "handlers", [])
+        body: List[ast.stmt] = getattr(stmt, "body", [])
+        orelse: List[ast.stmt] = getattr(stmt, "orelse", [])
+        finalbody: List[ast.stmt] = getattr(stmt, "finalbody", [])
+
+        handler_entries = [self._new_block() for _ in handlers]
+        join = self._new_block()
+
+        # The body starts a fresh block: exception edges must cover only the
+        # statements *inside* the try, not whatever preceded it in the
+        # enclosing block.
+        body_entry = self._new_block()
+        self._jump(body_entry)
+        self.current = body_entry
+
+        # Try body: record every block it touches for the exception edges.
+        self._try_scopes.append([])
+        start = self._resume()
+        self._try_scopes[-1].append(start)
+        self._statements(body)
+        touched = self._try_scopes.pop()
+        if self.current is not None and orelse:
+            self._statements(orelse)
+        if self.current is not None:
+            self._edge(self.current, join)
+        for block in touched:
+            for entry in handler_entries:
+                self._edge(block, entry, "exception")
+
+        for handler, entry in zip(handlers, handler_entries):
+            self.current = entry
+            if handler.name:
+                self._emit(Element("bind-name", handler, name=handler.name))
+            if handler.type is not None:
+                self._emit(Element("test", handler.type))
+            self._statements(handler.body)
+            if self.current is not None:
+                self._edge(self.current, join)
+
+        self.current = join
+        if finalbody:
+            self._statements(finalbody)
+
+    def _with(self, stmt: Union[ast.With, ast.AsyncWith]) -> None:
+        for item in stmt.items:
+            self._emit(Element("test", item.context_expr))
+            if item.optional_vars is not None:
+                self._emit(Element("bind", item.optional_vars))
+        self._statements(stmt.body)
+
+    def _match(self, stmt: ast.stmt) -> None:
+        self._emit(Element("test", getattr(stmt, "subject")))
+        head = self.current
+        assert head is not None
+        after = self._new_block()
+        for case in getattr(stmt, "cases"):
+            self.current = self._new_block()
+            self._edge(head, self.current)
+            for name, node in _pattern_bindings(case.pattern):
+                self._emit(Element("bind-name", node, name=name))
+            if case.guard is not None:
+                self._emit(Element("test", case.guard))
+            self._statements(case.body)
+            if self.current is not None:
+                self._edge(self.current, after)
+        self._edge(head, after)   # no case matched
+        self.current = after
+
+
+def _pattern_bindings(pattern: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """Names a match pattern captures (MatchAs / MatchStar / mapping rest)."""
+    names: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(pattern):
+        name = getattr(node, "name", None)
+        if isinstance(name, str) and node.__class__.__name__ in (
+                "MatchAs", "MatchStar"):
+            names.append((name, node))
+        rest = getattr(node, "rest", None)
+        if isinstance(rest, str) and \
+                node.__class__.__name__ == "MatchMapping":
+            names.append((rest, node))
+    return names
+
+
+def build_cfg(func: FunctionNode) -> Cfg:
+    """Build the CFG of one function definition or a whole module body."""
+    return _Builder(func).build()

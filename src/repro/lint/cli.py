@@ -22,6 +22,11 @@ from .engine import LintEngine, LintError, all_rules, rule_catalog
 #: (CI and developers both run from the repository root).
 DEFAULT_BASELINE = ".simlint-baseline.json"
 
+#: Version of the ``--format json`` payload.  1 was the original (implicit,
+#: unversioned) shape; 2 added this field and fixed finding ordering to
+#: (path, line, rule) so payloads diff cleanly across runs.
+JSON_SCHEMA_VERSION = 2
+
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach lint options to the ``repro lint`` subparser."""
@@ -85,6 +90,7 @@ def run_lint(args: argparse.Namespace,
 
     if args.format == "json":
         out.write(json.dumps({
+            "schema_version": JSON_SCHEMA_VERSION,
             "files_checked": report.files_checked,
             "suppressed": report.suppressed,
             "baselined": len(split.baselined),

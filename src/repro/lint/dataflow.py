@@ -1,0 +1,507 @@
+"""Forward dataflow analyses over the lint CFG.
+
+The generic piece is :class:`ForwardAnalysis`, a worklist solver whose
+states are frozensets of facts (``None`` marks an unreachable block).  Two
+standard analyses are built on it:
+
+- :class:`ReachingDefinitions` (*may*, union join) — which definitions can
+  reach each program point; :func:`compute_def_use` derives def-use chains
+  from it (the basis of the dead-store rule F4 and the unseeded-RNG rule F1).
+- :class:`DefiniteAssignment` (*must*, intersection join) — which locals are
+  assigned on *every* path to a point (the basis of rule F3).  It opts into
+  ``ignore_zero_trip``: loop bodies are assumed to execute at least once,
+  because flagging every use-after-loop would bury the real findings.
+
+Edge semantics follow :mod:`repro.lint.cfg`: along ``exception`` edges a
+*may* analysis propagates ``IN | OUT`` of the source block (the raise may
+have happened before or after any statement) and a *must* analysis
+propagates ``IN`` (nothing in the block is guaranteed to have run).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from .cfg import Cfg, Element, FunctionNode
+
+State = Optional[FrozenSet[int]]
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                  ast.ClassDef)
+
+
+# -- name extraction ---------------------------------------------------------
+
+class _NameScanner(ast.NodeVisitor):
+    """Collects Name loads and walrus bindings of one element's expression
+    tree, honouring Python scoping: nested function/class/lambda bodies are
+    skipped (their reads are *escaping* uses, handled separately) and
+    comprehension targets shadow the enclosing scope."""
+
+    def __init__(self) -> None:
+        self.loads: List[ast.Name] = []
+        self.walrus: List[Tuple[str, ast.AST]] = []
+        self._shadow: List[Set[str]] = []
+
+    def _shadowed(self, name: str) -> bool:
+        return any(name in layer for layer in self._shadow)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load) and not self._shadowed(node.id):
+            self.loads.append(node)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        if isinstance(node.target, ast.Name) and \
+                not self._shadowed(node.target.id):
+            self.walrus.append((node.target.id, node))
+        self.visit(node.value)
+
+    def _visit_comprehension(self, node: ast.AST,
+                             generators: Sequence[ast.comprehension],
+                             *bodies: ast.expr) -> None:
+        # The first iterable evaluates in the enclosing scope, before the
+        # comprehension's targets exist.
+        self.visit(generators[0].iter)
+        bound: Set[str] = set()
+        for generator in generators:
+            for name_node in ast.walk(generator.target):
+                if isinstance(name_node, ast.Name):
+                    bound.add(name_node.id)
+        self._shadow.append(bound)
+        for index, generator in enumerate(generators):
+            if index > 0:
+                self.visit(generator.iter)
+            for condition in generator.ifs:
+                self.visit(condition)
+        for body in bodies:
+            self.visit(body)
+        self._shadow.pop()
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, node.generators, node.elt)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node, node.generators, node.elt)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, node.generators, node.elt)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, node.generators, node.key, node.value)
+
+    def _visit_arguments(self, args: ast.arguments) -> None:
+        for default in list(args.defaults) + \
+                [d for d in args.kw_defaults if d is not None]:
+            self.visit(default)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        self._visit_arguments(node.args)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        self._visit_arguments(node.args)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_arguments(node.args)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for base in node.bases:
+            self.visit(base)
+        for keyword in node.keywords:
+            self.visit(keyword.value)
+
+
+def _scan(node: ast.AST) -> _NameScanner:
+    scanner = _NameScanner()
+    scanner.visit(node)
+    return scanner
+
+
+def assigned_names(target: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """Simple names bound by an assignment target (tuples/starred included;
+    attribute and subscript targets bind no local name)."""
+    names: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and \
+                isinstance(node.ctx, (ast.Store,)):
+            names.append((node.id, node))
+    return names
+
+
+def element_defs(element: Element) -> List[Tuple[str, ast.AST]]:
+    """(name, node) pairs the element binds, walrus expressions included."""
+    node = element.node
+    if element.kind == "bind-name":
+        return [(element.name or "", node)]
+    if element.kind == "bind":
+        return assigned_names(node)
+    defs: List[Tuple[str, ast.AST]] = list(_scan(node).walrus)
+    if element.kind != "stmt":
+        return defs
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            defs.extend(assigned_names(target))
+    elif isinstance(node, ast.AnnAssign):
+        if node.value is not None and isinstance(node.target, ast.Name):
+            defs.append((node.target.id, node.target))
+    elif isinstance(node, ast.AugAssign):
+        if isinstance(node.target, ast.Name):
+            defs.append((node.target.id, node.target))
+    elif isinstance(node, (ast.Import, ast.ImportFrom)):
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name.split(".")[0]
+            defs.append((local, node))
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        defs.append((node.name, node))
+    return defs
+
+
+def element_kills(element: Element) -> List[str]:
+    """Names a ``del`` statement unbinds."""
+    node = element.node
+    if element.kind == "stmt" and isinstance(node, ast.Delete):
+        return [name_node.id for target in node.targets
+                for name_node in ast.walk(target)
+                if isinstance(name_node, ast.Name) and
+                isinstance(name_node.ctx, ast.Del)]
+    return []
+
+
+def element_walrus_names(element: Element) -> Set[str]:
+    """Names bound by walrus expressions inside the element."""
+    return {name for name, _ in _scan(element.node).walrus}
+
+
+def element_uses(element: Element) -> List[ast.Name]:
+    """Name loads the element evaluates (nested scopes excluded)."""
+    node = element.node
+    if element.kind == "bind-name":
+        return []
+    uses = list(_scan(node).loads)
+    if element.kind == "stmt" and isinstance(node, ast.AugAssign) and \
+            isinstance(node.target, ast.Name):
+        # x += 1 loads x before storing it.
+        uses.append(node.target)
+    return uses
+
+
+# -- scope information -------------------------------------------------------
+
+@dataclass
+class ScopeInfo:
+    """Names of one function scope, as the flow rules need them."""
+
+    params: FrozenSet[str]
+    bound: FrozenSet[str]          # every name bound anywhere in the scope
+    globals_declared: FrozenSet[str]
+    escaping: FrozenSet[str]       # names read by nested scopes (closures)
+
+    @property
+    def local_names(self) -> FrozenSet[str]:
+        return (self.params | self.bound) - self.globals_declared
+
+
+def scope_info(cfg: Cfg) -> ScopeInfo:
+    """Compute the scope facts of a CFG's function."""
+    params: Set[str] = set()
+    func = cfg.func
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func.args
+        for arg in (list(getattr(args, "posonlyargs", [])) + args.args +
+                    args.kwonlyargs):
+            params.add(arg.arg)
+        if args.vararg:
+            params.add(args.vararg.arg)
+        if args.kwarg:
+            params.add(args.kwarg.arg)
+
+    bound: Set[str] = set()
+    globals_declared: Set[str] = set()
+    escaping: Set[str] = set()
+    for element in cfg.elements():
+        for name, _ in element_defs(element):
+            bound.add(name)
+        node = element.node
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            globals_declared.update(node.names)
+        for child in ast.walk(node):
+            if isinstance(child, _NESTED_SCOPES) and child is not node:
+                for inner in ast.walk(child):
+                    if isinstance(inner, ast.Name) and \
+                            isinstance(inner.ctx, ast.Load):
+                        escaping.add(inner.id)
+            elif isinstance(node, _NESTED_SCOPES) and child is node:
+                # A nested def as the element itself: its body escapes too.
+                for part in ast.iter_child_nodes(node):
+                    for inner in ast.walk(part):
+                        if isinstance(inner, ast.Name) and \
+                                isinstance(inner.ctx, ast.Load):
+                            escaping.add(inner.id)
+    return ScopeInfo(params=frozenset(params), bound=frozenset(bound),
+                     globals_declared=frozenset(globals_declared),
+                     escaping=frozenset(escaping))
+
+
+# -- the generic solver ------------------------------------------------------
+
+@dataclass
+class DataflowResult:
+    """Fixed-point block states (``None`` = unreachable)."""
+
+    block_in: List[State]
+    block_out: List[State]
+
+
+class ForwardAnalysis(abc.ABC):
+    """A forward dataflow analysis over frozensets of integer fact ids."""
+
+    #: Union join (may) when True, intersection join (must) when False.
+    may: bool = True
+    #: Drop ``zero-trip`` loop edges (assume loop bodies run at least once).
+    ignore_zero_trip: bool = False
+
+    def entry_state(self, cfg: Cfg) -> FrozenSet[int]:
+        return frozenset()
+
+    @abc.abstractmethod
+    def transfer(self, element: Element,
+                 state: FrozenSet[int]) -> FrozenSet[int]:
+        ...
+
+    # -- solver --------------------------------------------------------------
+
+    def _edge_state(self, kind: str, source_in: State,
+                    source_out: State) -> State:
+        if kind == "zero-trip" and self.ignore_zero_trip:
+            return None
+        if kind == "exception":
+            if self.may:
+                if source_in is None:
+                    return source_out
+                if source_out is None:
+                    return source_in
+                return source_in | source_out
+            return source_in
+        return source_out
+
+    def _join(self, states: Sequence[FrozenSet[int]]) -> State:
+        if not states:
+            return None
+        merged = states[0]
+        for state in states[1:]:
+            merged = (merged | state) if self.may else (merged & state)
+        return merged
+
+    def run(self, cfg: Cfg) -> DataflowResult:
+        n = len(cfg.blocks)
+        preds = cfg.predecessors()
+        block_in: List[State] = [None] * n
+        block_out: List[State] = [None] * n
+        block_in[cfg.entry] = self.entry_state(cfg)
+
+        worklist = deque(range(n))
+        pending = set(worklist)
+        while worklist:
+            index = worklist.popleft()
+            pending.discard(index)
+            if index == cfg.entry:
+                in_state: State = self.entry_state(cfg)
+            else:
+                contributions = [
+                    edge_state for src, kind in preds[index]
+                    if (edge_state := self._edge_state(
+                        kind, block_in[src], block_out[src])) is not None]
+                in_state = self._join(contributions)
+            block_in[index] = in_state
+            out_state = in_state
+            if out_state is not None:
+                for element in cfg.blocks[index].elements:
+                    out_state = self.transfer(element, out_state)
+            if out_state != block_out[index]:
+                block_out[index] = out_state
+                for edge in cfg.blocks[index].edges:
+                    if edge.dst not in pending:
+                        pending.add(edge.dst)
+                        worklist.append(edge.dst)
+        return DataflowResult(block_in=block_in, block_out=block_out)
+
+    def element_states(self, cfg: Cfg, result: DataflowResult
+                       ) -> Iterator[Tuple[Element, State]]:
+        """Replay: yields (element, state before it) in block order."""
+        for block in cfg.blocks:
+            state = result.block_in[block.id]
+            for element in block.elements:
+                yield element, state
+                if state is not None:
+                    state = self.transfer(element, state)
+
+
+# -- reaching definitions ----------------------------------------------------
+
+@dataclass
+class Definition:
+    """One binding site of a local name (``element`` is None for params)."""
+
+    id: int
+    name: str
+    node: ast.AST
+    element: Optional[Element]
+
+    @property
+    def is_param(self) -> bool:
+        return self.element is None
+
+
+class ReachingDefinitions(ForwardAnalysis):
+    """Which definitions may reach each point (classic may-analysis)."""
+
+    may = True
+
+    def __init__(self, cfg: Cfg, scope: ScopeInfo) -> None:
+        self.cfg = cfg
+        self.scope = scope
+        self.definitions: List[Definition] = []
+        self._by_name: Dict[str, Set[int]] = {}
+        self._param_ids: List[int] = []
+        for name in sorted(scope.params):
+            self._param_ids.append(self._add(name, cfg.func, None))
+        for element in cfg.elements():
+            for name, node in element_defs(element):
+                self._add(name, node, element)
+        self._effects: Dict[int, Tuple[FrozenSet[int], FrozenSet[int]]] = {}
+        for element in cfg.elements():
+            gen: Set[int] = set()
+            kill: Set[int] = set()
+            for definition in self.definitions:
+                if definition.element is element:
+                    gen.add(definition.id)
+                    kill.update(self._by_name[definition.name])
+            for name in element_kills(element):
+                kill.update(self._by_name.get(name, set()))
+            self._effects[id(element)] = (frozenset(gen), frozenset(kill))
+
+    def _add(self, name: str, node: ast.AST,
+             element: Optional[Element]) -> int:
+        definition = Definition(id=len(self.definitions), name=name,
+                                node=node, element=element)
+        self.definitions.append(definition)
+        self._by_name.setdefault(name, set()).add(definition.id)
+        return definition.id
+
+    def defs_of_name(self, name: str) -> FrozenSet[int]:
+        return frozenset(self._by_name.get(name, set()))
+
+    def entry_state(self, cfg: Cfg) -> FrozenSet[int]:
+        return frozenset(self._param_ids)
+
+    def transfer(self, element: Element,
+                 state: FrozenSet[int]) -> FrozenSet[int]:
+        gen, kill = self._effects[id(element)]
+        return (state - kill) | gen
+
+
+@dataclass
+class DefUse:
+    """Def-use chains of one function."""
+
+    reaching: ReachingDefinitions
+    result: DataflowResult
+    #: definition id -> use sites it reaches.
+    uses_of_def: Dict[int, List[ast.Name]] = field(default_factory=dict)
+    #: id(use node) -> reaching definition ids.
+    defs_of_use: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+
+    @property
+    def definitions(self) -> List[Definition]:
+        return self.reaching.definitions
+
+
+def compute_def_use(cfg: Cfg, scope: Optional[ScopeInfo] = None) -> DefUse:
+    """Run reaching definitions and link every use to its reaching defs."""
+    scope = scope or scope_info(cfg)
+    reaching = ReachingDefinitions(cfg, scope)
+    result = reaching.run(cfg)
+    chains = DefUse(reaching=reaching, result=result)
+    local_names = scope.local_names
+    for element, state in reaching.element_states(cfg, result):
+        if state is None:
+            continue
+        for use in element_uses(element):
+            if use.id not in local_names:
+                continue
+            reaching_ids = state & reaching.defs_of_name(use.id)
+            chains.defs_of_use[id(use)] = reaching_ids
+            for def_id in reaching_ids:
+                chains.uses_of_def.setdefault(def_id, []).append(use)
+    return chains
+
+
+# -- definite assignment -----------------------------------------------------
+
+class DefiniteAssignment(ForwardAnalysis):
+    """Which locals are assigned on every path (must-analysis).
+
+    Facts are indices into :attr:`names`.  Loop bodies are assumed to
+    execute at least once (``ignore_zero_trip``): a use after ``for``/
+    ``while`` is judged against the state at the end of an iteration, not
+    against the infeasible-looking zero-trip path — the latter would flag
+    half of all real accumulate-in-a-loop code.
+    """
+
+    may = False
+    ignore_zero_trip = True
+
+    def __init__(self, cfg: Cfg, scope: ScopeInfo) -> None:
+        self.cfg = cfg
+        self.scope = scope
+        self.names: List[str] = sorted(scope.local_names)
+        self._index: Dict[str, int] = {
+            name: index for index, name in enumerate(self.names)}
+
+    def fact(self, name: str) -> Optional[int]:
+        return self._index.get(name)
+
+    def entry_state(self, cfg: Cfg) -> FrozenSet[int]:
+        return frozenset(self._index[name] for name in self.scope.params
+                         if name in self._index)
+
+    def transfer(self, element: Element,
+                 state: FrozenSet[int]) -> FrozenSet[int]:
+        added = [self._index[name] for name, _ in element_defs(element)
+                 if name in self._index]
+        removed = [self._index[name] for name in element_kills(element)
+                   if name in self._index]
+        if not added and not removed:
+            return state
+        return (state | frozenset(added)) - frozenset(removed)
+
+
+def build_function_nodes(tree: ast.Module) -> List[FunctionNode]:
+    """The module body plus every (nested) function definition in it."""
+    nodes: List[FunctionNode] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nodes.append(node)
+    return nodes

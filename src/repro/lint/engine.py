@@ -15,10 +15,12 @@ AST + suppression table) and hands modules to rules:
 
 Suppression follows the established lint idiom: a trailing
 ``# simlint: disable=RULE[,RULE...]`` comment silences matching findings on
-that physical line, ``# simlint: disable`` silences every rule on the line,
-and ``# simlint: disable-file=RULE`` anywhere in a file silences the rule
-for the whole file.  Suppressions are honoured *after* rules run so the
-engine can still count them.
+that physical line, ``# simlint: disable-next-line=RULE`` (on its own line)
+silences them on the following line, ``# simlint: disable`` /
+``disable-next-line`` without rules silences every rule, and
+``# simlint: disable-file=RULE`` anywhere in a file silences the rule for
+the whole file.  Suppressions are honoured *after* rules run so the engine
+can still count them.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Iterable,
@@ -49,7 +52,8 @@ class LintError(ReproError):
 
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*simlint\s*:\s*(disable-file|disable)\s*(?:=\s*([A-Za-z0-9_,\s]+))?")
+    r"#\s*simlint\s*:\s*(disable-next-line|disable-file|disable)"
+    r"\s*(?:=\s*([A-Za-z0-9_,\s]+))?")
 
 #: Wildcard rule id meaning "every rule" in suppression tables.
 _ALL = "*"
@@ -70,7 +74,8 @@ def _parse_suppressions(
         if kind == "disable-file":
             file_level.extend(rules)
         else:
-            per_line[lineno] = per_line.get(lineno, frozenset()) | rules
+            target = lineno + 1 if kind == "disable-next-line" else lineno
+            per_line[target] = per_line.get(target, frozenset()) | rules
     return per_line, frozenset(file_level)
 
 
@@ -84,6 +89,9 @@ class Module:
     tree: ast.Module
     line_suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
     file_suppressions: FrozenSet[str] = frozenset()
+    #: Scratch space rules share within one engine run (e.g. the flow rules
+    #: cache per-function CFGs here so F1-F4 build them once, not four times).
+    analysis_cache: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def load(cls, path: Path, root: Path) -> "Module":
@@ -173,8 +181,29 @@ class VisitorRule(Rule, ast.NodeVisitor):
         return self._findings
 
 
+@dataclass
+class ProjectContext:
+    """Shared state of one engine run, handed to every project rule.
+
+    ``cache`` lets expensive whole-program artifacts (the contract rules'
+    symbol model) be built once and reused by every rule in the run;
+    ``ignore_scope`` mirrors the engine flag so rules that filter paths
+    *internally* (beyond the registry-level ``scope``) can honour it too.
+    """
+
+    modules: Sequence[Module]
+    ignore_scope: bool = False
+    cache: Dict[str, Any] = field(default_factory=dict)
+
+
 class ProjectRule(Rule):
-    """A rule that needs to see every module at once."""
+    """A rule that needs to see every module at once.
+
+    The engine sets :attr:`context` before calling :meth:`check_project`;
+    rules can pull shared artifacts out of ``context.cache``.
+    """
+
+    context: Optional[ProjectContext] = None
 
     @abc.abstractmethod
     def check_project(self, modules: Sequence[Module]) -> List[Finding]:
@@ -278,10 +307,13 @@ class LintEngine:
                             parse_errors=len(parse_failures))
         raw: List[Finding] = list(parse_failures)
         by_rel: Dict[str, Module] = {m.rel: m for m in modules}
+        context = ProjectContext(modules=modules,
+                                 ignore_scope=self.ignore_scope)
 
         for rule in self.rules:
             if isinstance(rule, ProjectRule):
                 scoped = [m for m in modules if self._applies(rule, m)]
+                rule.context = context
                 raw.extend(rule.check_project(scoped))
             elif isinstance(rule, VisitorRule):
                 for module in modules:

@@ -37,8 +37,10 @@ class Finding:
         """Line-insensitive identity used for baseline matching."""
         return f"{self.rule}::{self.path}::{self.message}"
 
-    def sort_key(self) -> Tuple[str, int, int, str]:
-        return (self.path, self.line, self.col, self.rule)
+    def sort_key(self) -> Tuple[str, int, str, int]:
+        """Stable report/baseline order: path, then line, then rule id (the
+        column only breaks ties so same-line findings stay deterministic)."""
+        return (self.path, self.line, self.rule, self.col)
 
     def render(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: "

@@ -166,7 +166,6 @@ class WorkloadGenerator:
 
     def generate(self) -> Workload:
         profile = self.profile
-        rng = self._rng
         cursor = profile.code_base
         drafts: List[List[_BlockDraft]] = []
 
@@ -436,7 +435,6 @@ class _TraceWalker:
         program = workload.program
         profile = workload.profile
         behaviors = workload.behaviors
-        rng = self._rng
 
         records: List[DynamicInst] = []
         call_stack: List[int] = []

@@ -1,0 +1,23 @@
+"""F1 fixture (fixed): every path seeds the RNG before the first draw."""
+
+import random
+
+
+def draw_seeded(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def seed_before_draw(seed):
+    rng = random.Random()
+    rng.seed(seed)
+    return rng.random()
+
+
+def seeded_on_every_path(flag, seed):
+    rng = random.Random()
+    if flag:
+        rng.seed(seed)
+    else:
+        rng.seed(seed + 1)
+    return rng.random()

@@ -1,0 +1,14 @@
+"""F1 fixture: violations silenced by line and next-line pragmas."""
+
+import random
+
+
+def draw_unseeded():
+    rng = random.Random()
+    return rng.random()  # simlint: disable=F1
+
+
+def draw_next_line():
+    rng = random.Random()
+    # simlint: disable-next-line=F1
+    return rng.random()

@@ -1,0 +1,15 @@
+"""F1 fixture: draws reached by an unseeded RNG construction."""
+
+import random
+
+
+def draw_unseeded():
+    rng = random.Random()
+    return rng.random()
+
+
+def draw_on_one_path(flag, seed):
+    rng = random.Random()
+    if flag:
+        rng.seed(seed)
+    return rng.randint(0, 10)

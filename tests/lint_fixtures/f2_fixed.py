@@ -1,0 +1,20 @@
+"""F2 fixture (fixed): reads after validation, mutation before it, or a
+fresh object."""
+
+
+def read_after_validate(config):
+    config.validate()
+    return config.ways
+
+
+def mutate_then_validate(config):
+    config.ways = 8
+    config.validate()
+    return config
+
+
+def rebuild_after_validate(config, make):
+    config.validate()
+    config = make()
+    config.ways = 8
+    return config

@@ -1,0 +1,6 @@
+"""F2 fixture: the mutation is acknowledged with a pragma."""
+
+
+def mutate_after_validate(config):
+    config.validate()
+    config.ways = 8  # simlint: disable=F2

@@ -1,0 +1,12 @@
+"""F2 fixture: fields mutated after a path that validated the object."""
+
+
+def mutate_after_validate(config):
+    config.validate()
+    config.ways = 8
+
+
+def mutate_after_branchy_validate(config, flag):
+    if flag:
+        config.validate()
+    config.num_sets += 1

@@ -1,0 +1,31 @@
+"""F3 fixture (fixed): a default before the branch, full branch coverage,
+or the documented at-least-one-iteration loop assumption."""
+
+
+def default_first(flag):
+    value = 0
+    if flag:
+        value = 1
+    return value
+
+
+def both_branches(flag):
+    if flag:
+        value = 1
+    else:
+        value = 2
+    return value
+
+
+def exception_path_with_default(loader):
+    try:
+        payload = loader()
+    except ValueError:
+        payload = None
+    return payload
+
+
+def assigned_in_loop(items):
+    for item in items:
+        last = item
+    return last

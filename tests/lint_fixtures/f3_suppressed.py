@@ -1,0 +1,7 @@
+"""F3 fixture: the possibly-unassigned use is acknowledged with a pragma."""
+
+
+def branch_only(flag):
+    if flag:
+        value = 1
+    return value  # simlint: disable=F3

@@ -1,0 +1,15 @@
+"""F3 fixture: locals that are unassigned on at least one path."""
+
+
+def branch_only(flag):
+    if flag:
+        value = 1
+    return value
+
+
+def exception_path(loader):
+    try:
+        payload = loader()
+    except ValueError:
+        pass
+    return payload

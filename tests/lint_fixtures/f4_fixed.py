@@ -1,0 +1,31 @@
+"""F4 fixture (fixed): the store is read, deliberately discarded, or
+captured by a closure."""
+
+
+def read_later():
+    temp = expensive()
+    return temp
+
+
+def branch_dependent(flag):
+    value = 0
+    if flag:
+        value = expensive()
+    return value
+
+
+def underscore_discard():
+    _unused = expensive()
+    return 42
+
+
+def closure_capture():
+    captured = expensive()
+
+    def inner():
+        return captured
+    return inner
+
+
+def expensive():
+    return 99

@@ -1,0 +1,10 @@
+"""F4 fixture: the dead store is acknowledged with a pragma."""
+
+
+def leftover_scaffolding():
+    temp = expensive()  # simlint: disable=F4
+    return 42
+
+
+def expensive():
+    return 99

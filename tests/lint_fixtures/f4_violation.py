@@ -1,0 +1,16 @@
+"""F4 fixture: stores no read can ever observe."""
+
+
+def leftover_scaffolding():
+    temp = expensive()
+    return 42
+
+
+def overwritten_before_read():
+    total = 0
+    total = expensive()
+    return total
+
+
+def expensive():
+    return 99

@@ -1,0 +1,6 @@
+"""X1 fixture peer (fixed): covers every key the simulator exposes."""
+
+
+class OracleCounters:
+    def supply_counters(self):
+        return {"hits": 0, "misses": 0}

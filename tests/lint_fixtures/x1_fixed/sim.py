@@ -1,0 +1,19 @@
+"""X1 fixture (fixed): every counter is read, surfaces agree."""
+
+
+class SimCounters:
+    def __init__(self):
+        self._hits = 0
+        self._misses = 0
+
+    def record(self, hit):
+        if hit:
+            self._hits += 1
+        else:
+            self._misses += 1
+
+    def supply_counters(self):
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+        }

@@ -1,0 +1,6 @@
+"""X1 fixture peer: surface intentionally narrower (see sim.py pragmas)."""
+
+
+class OracleCounters:
+    def supply_counters(self):
+        return {"hits": 0}

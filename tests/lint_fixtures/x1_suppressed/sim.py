@@ -1,0 +1,17 @@
+"""X1 fixture: both contract violations acknowledged with pragmas."""
+
+
+class SimCounters:
+    def __init__(self):
+        self._hits = 0
+        self._phantom = 0
+
+    def record_hit(self):
+        self._hits += 1
+        self._phantom += 1  # simlint: disable=X1
+
+    def supply_counters(self):
+        return {
+            "hits": self._hits,
+            "misses": 0,  # simlint: disable=X1
+        }

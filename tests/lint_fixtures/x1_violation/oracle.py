@@ -1,0 +1,6 @@
+"""X1 fixture peer: its surface is missing the simulator's "misses" key."""
+
+
+class OracleCounters:
+    def supply_counters(self):
+        return {"hits": 0}

@@ -1,0 +1,17 @@
+"""X1 fixture: a write-only counter and a surface key the peer lacks."""
+
+
+class SimCounters:
+    def __init__(self):
+        self._hits = 0
+        self._phantom = 0
+
+    def record_hit(self):
+        self._hits += 1
+        self._phantom += 1
+
+    def supply_counters(self):
+        return {
+            "hits": self._hits,
+            "misses": 0,
+        }

@@ -1,0 +1,8 @@
+"""X2 fixture (fixed): every emit is a declared member, all members emit."""
+
+from events import EventKind
+
+
+def publish(hub):
+    hub.emit(EventKind.CACHE_HIT, 1)
+    hub.emit(EventKind.CACHE_MISS, 2)

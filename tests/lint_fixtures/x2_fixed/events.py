@@ -1,0 +1,14 @@
+"""X2 fixture (fixed): members, emits, and categories agree exactly."""
+
+import enum
+
+
+class EventKind(enum.Enum):
+    CACHE_HIT = "cache_hit"
+    CACHE_MISS = "cache_miss"
+
+
+KIND_CATEGORY = {
+    EventKind.CACHE_HIT: "cache",
+    EventKind.CACHE_MISS: "cache",
+}

@@ -1,0 +1,9 @@
+"""X2 fixture: the off-taxonomy emit is acknowledged with a pragma."""
+
+from events import EventKind
+
+
+def publish(hub):
+    hub.emit(EventKind.CACHE_HIT, 1)
+    hub.emit(EventKind.CACHE_MISS, 2)
+    hub.emit(EventKind.BOGUS, 3)  # simlint: disable=X2

@@ -1,0 +1,15 @@
+"""X2 fixture: the reserved member is waived on its declaration line."""
+
+import enum
+
+
+class EventKind(enum.Enum):
+    CACHE_HIT = "cache_hit"
+    CACHE_MISS = "cache_miss"
+    UNUSED = "unused"  # simlint: disable=X2
+
+
+KIND_CATEGORY = {
+    EventKind.CACHE_HIT: "cache",
+    EventKind.CACHE_MISS: "cache",
+}

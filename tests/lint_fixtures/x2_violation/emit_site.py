@@ -1,0 +1,9 @@
+"""X2 fixture: one emit names a member the taxonomy never declared."""
+
+from events import EventKind
+
+
+def publish(hub):
+    hub.emit(EventKind.CACHE_HIT, 1)
+    hub.emit(EventKind.CACHE_MISS, 2)
+    hub.emit(EventKind.BOGUS, 3)

@@ -1,0 +1,15 @@
+"""X2 fixture: a declared-but-never-emitted member with a category gap."""
+
+import enum
+
+
+class EventKind(enum.Enum):
+    CACHE_HIT = "cache_hit"
+    CACHE_MISS = "cache_miss"
+    UNUSED = "unused"
+
+
+KIND_CATEGORY = {
+    EventKind.CACHE_HIT: "cache",
+    EventKind.CACHE_MISS: "cache",
+}

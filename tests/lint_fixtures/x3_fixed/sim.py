@@ -1,0 +1,19 @@
+"""X3 fixture (fixed): every config read names a declared field, property,
+or method, following annotations through nested configs."""
+
+from config import CacheConfig, SimConfig
+
+
+class Pipeline:
+    def __init__(self, config: SimConfig):
+        self.config = config
+
+    def ways(self):
+        return self.config.cache.num_ways
+
+    def bytes_total(self):
+        return self.config.cache.capacity() * self.config.window
+
+
+def line_bytes(cfg: CacheConfig):
+    return cfg.line_size

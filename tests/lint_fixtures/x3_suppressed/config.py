@@ -1,0 +1,9 @@
+"""X3 fixture: the config dataclass the suppressed read targets."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheConfig:
+    num_ways: int = 8
+    line_size: int = 64

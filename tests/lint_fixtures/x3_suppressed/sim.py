@@ -1,0 +1,7 @@
+"""X3 fixture: the phantom-field read is acknowledged with a pragma."""
+
+from config import CacheConfig
+
+
+def associativity(cfg: CacheConfig):
+    return cfg.assoc  # simlint: disable=X3

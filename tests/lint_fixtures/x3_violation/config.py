@@ -1,0 +1,19 @@
+"""X3 fixture: the config dataclasses the reads are checked against."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class CacheConfig:
+    num_ways: int = 8
+    line_size: int = 64
+
+    def capacity(self):
+        return self.num_ways * self.line_size
+
+
+@dataclass
+class SimConfig:
+    cache: Optional[CacheConfig] = None
+    window: int = 16

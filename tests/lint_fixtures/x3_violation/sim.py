@@ -1,0 +1,15 @@
+"""X3 fixture: reads of fields the config dataclasses never declared."""
+
+from config import CacheConfig, SimConfig
+
+
+class Pipeline:
+    def __init__(self, config: SimConfig):
+        self.config = config
+
+    def sets(self):
+        return self.config.cache.num_sets
+
+
+def associativity(cfg: CacheConfig):
+    return cfg.assoc

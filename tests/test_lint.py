@@ -27,7 +27,8 @@ from repro.lint import (
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-EXPECTED_RULES = {"C1", "C2", "C3", "C4", "C5", "D1", "D2", "D3"}
+EXPECTED_RULES = {"C1", "C2", "C3", "C4", "C5", "D1", "D2", "D3",
+                  "F1", "F2", "F3", "F4", "X1", "X2", "X3"}
 
 
 def run_fixture(*names, ignore_scope=True, root=FIXTURES):
@@ -212,6 +213,26 @@ class TestEngine:
         assert report.findings == []
         assert report.suppressed == 1
 
+    def test_disable_next_line_suppresses_following_line(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("# simlint: disable-next-line=C3\n"
+                          "def run(jobs=[]):\n"
+                          "    return jobs\n")
+        report = LintEngine(root=tmp_path, ignore_scope=True).run([target])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_disable_next_line_does_not_leak_past_one_line(self, tmp_path):
+        """The pragma covers exactly the next line, not the one after."""
+        target = tmp_path / "mod.py"
+        target.write_text("# simlint: disable-next-line=C3\n"
+                          "X = 1\n"
+                          "def run(jobs=[]):\n"
+                          "    return jobs\n")
+        report = LintEngine(root=tmp_path, ignore_scope=True).run([target])
+        assert rules_of(report) == ["C3"]
+        assert report.suppressed == 0
+
     def test_findings_sorted_and_relative(self):
         report = run_fixture("d1_violation.py", "c3_violation.py")
         assert report.findings == sorted(report.findings,
@@ -276,6 +297,7 @@ class TestCli:
                          "--no-baseline", "--format", "json"])
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
         assert payload["files_checked"] == 1
         assert {f["rule"] for f in payload["findings"]} == {"D1"}
 

@@ -1,0 +1,303 @@
+"""Tests for the flow-sensitive lint layer: CFG construction, the generic
+dataflow solver (reaching definitions, def-use, definite assignment), and
+the F-family rules via their fixture triples.
+
+The unit tests pin the modelling choices DESIGN.md section 12 documents —
+zero-trip loop edges, exception edges starting at the try body (not the
+whole surrounding block), and the at-least-one-iteration assumption of the
+definite-assignment analysis — because the F rules' precision depends on
+exactly those choices.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import (
+    DefiniteAssignment,
+    build_function_nodes,
+    compute_def_use,
+    scope_info,
+)
+
+from test_lint import rules_of, run_fixture
+
+
+def cfg_of(source, index=0):
+    """CFG of the ``index``-th top-level function of ``source``."""
+    tree = ast.parse(textwrap.dedent(source))
+    functions = [node for node in tree.body
+                 if isinstance(node, ast.FunctionDef)]
+    return build_cfg(functions[index])
+
+
+def assignment_at_exit(source):
+    """(analysis, exit IN-state) of the single function in ``source``."""
+    cfg = cfg_of(source)
+    analysis = DefiniteAssignment(cfg, scope_info(cfg))
+    result = analysis.run(cfg)
+    return analysis, result.block_in[cfg.exit]
+
+
+class TestCfg:
+    def test_straight_line_is_one_block(self):
+        cfg = cfg_of("""
+            def f():
+                a = 1
+                b = a + 1
+                return b
+        """)
+        populated = [b for b in cfg.blocks if b.elements]
+        assert len(populated) == 1
+        assert [e.kind for e in populated[0].elements] == \
+            ["stmt", "stmt", "stmt"]
+
+    def test_if_produces_test_element_and_join(self):
+        cfg = cfg_of("""
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        kinds = [e.kind for e in cfg.elements()]
+        assert kinds.count("test") == 1
+        # The branch head has two successors (then / else).
+        heads = [b for b in cfg.blocks
+                 if any(e.kind == "test" for e in b.elements)]
+        assert len(heads[0].edges) == 2
+
+    def test_while_has_zero_trip_edge(self):
+        cfg = cfg_of("""
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+        """)
+        kinds = {edge.kind for block in cfg.blocks for edge in block.edges}
+        assert "zero-trip" in kinds
+
+    def test_try_body_gets_exception_edges(self):
+        cfg = cfg_of("""
+            def f(loader):
+                try:
+                    value = loader()
+                except ValueError:
+                    value = None
+                return value
+        """)
+        kinds = {edge.kind for block in cfg.blocks for edge in block.edges}
+        assert "exception" in kinds
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of("""
+            def f():
+                return 1
+                x = 2
+        """)
+        analysis = DefiniteAssignment(cfg, scope_info(cfg))
+        result = analysis.run(cfg)
+        dead = [b.id for b in cfg.blocks
+                if any(isinstance(e.node, ast.Assign) for e in b.elements)]
+        assert dead and all(result.block_in[i] is None for i in dead)
+
+    def test_module_body_builds(self):
+        tree = ast.parse("x = 1\n\n\ndef f():\n    return x\n")
+        nodes = build_function_nodes(tree)
+        assert nodes[0] is tree and len(nodes) == 2
+        assert build_cfg(tree).elements()
+
+
+class TestScopeInfo:
+    def test_params_bound_and_escaping(self):
+        cfg = cfg_of("""
+            def f(a, b=1, *rest, **extra):
+                local = a
+                captured = b
+
+                def inner():
+                    return captured
+                return inner
+        """)
+        scope = scope_info(cfg)
+        assert {"a", "b", "rest", "extra"} <= scope.params
+        assert "local" in scope.bound
+        assert "captured" in scope.escaping
+        assert "local" not in scope.escaping
+
+    def test_global_declaration_excluded_from_locals(self):
+        cfg = cfg_of("""
+            def f():
+                global counter
+                counter = 1
+        """)
+        assert "counter" not in scope_info(cfg).local_names
+
+
+class TestDefUse:
+    def test_branch_defs_both_reach_merge_use(self):
+        cfg = cfg_of("""
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        chains = compute_def_use(cfg)
+        defs_of_a = [d for d in chains.definitions if d.name == "a"]
+        assert len(defs_of_a) == 2
+        for definition in defs_of_a:
+            assert chains.uses_of_def.get(definition.id)
+
+    def test_dead_store_reaches_no_use(self):
+        cfg = cfg_of("""
+            def f():
+                a = 1
+                a = 2
+                return a
+        """)
+        chains = compute_def_use(cfg)
+        used = {d.id: bool(chains.uses_of_def.get(d.id))
+                for d in chains.definitions if d.name == "a"}
+        assert sorted(used.values()) == [False, True]
+
+    def test_param_definition_links_to_use(self):
+        cfg = cfg_of("""
+            def f(a):
+                return a + 1
+        """)
+        chains = compute_def_use(cfg)
+        param = next(d for d in chains.definitions if d.name == "a")
+        assert param.is_param
+        assert chains.uses_of_def.get(param.id)
+
+    def test_comprehension_target_shadows_outer_name(self):
+        cfg = cfg_of("""
+            def f(items):
+                x = 1
+                sizes = [x for x in items]
+                return sizes
+        """)
+        chains = compute_def_use(cfg)
+        outer = next(d for d in chains.definitions
+                     if d.name == "x" and not d.is_param)
+        assert not chains.uses_of_def.get(outer.id)
+
+
+class TestDefiniteAssignment:
+    def test_branch_only_assignment_is_not_definite(self):
+        analysis, exit_in = assignment_at_exit("""
+            def f(flag):
+                if flag:
+                    value = 1
+                return value
+        """)
+        assert analysis.fact("value") not in exit_in
+
+    def test_default_before_branch_is_definite(self):
+        analysis, exit_in = assignment_at_exit("""
+            def f(flag):
+                value = 0
+                if flag:
+                    value = 1
+                return value
+        """)
+        assert analysis.fact("value") in exit_in
+
+    def test_loop_body_assumed_to_run_at_least_once(self):
+        analysis, exit_in = assignment_at_exit("""
+            def f(items):
+                for item in items:
+                    last = item
+                return last
+        """)
+        assert analysis.fact("last") in exit_in
+
+    def test_exception_path_defeats_try_assignment(self):
+        analysis, exit_in = assignment_at_exit("""
+            def f(loader):
+                try:
+                    value = loader()
+                except ValueError:
+                    pass
+                return value
+        """)
+        assert analysis.fact("value") not in exit_in
+
+    def test_assignment_before_try_survives_exception_edges(self):
+        """Exception edges start at the *try body*, not at the whole block
+        around it — assignments before the try are not un-assigned by a
+        raise inside it."""
+        analysis, exit_in = assignment_at_exit("""
+            def f(loader):
+                value = None
+                try:
+                    value = loader()
+                except ValueError:
+                    pass
+                return value
+        """)
+        assert analysis.fact("value") in exit_in
+
+
+class TestF1UnseededRngReach:
+    def test_violation(self):
+        report = run_fixture("f1_violation.py")
+        assert rules_of(report) == ["F1", "F1"]
+
+    def test_suppressed(self):
+        report = run_fixture("f1_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 2
+
+    def test_fixed(self):
+        """Seeding on every path — including branch-wise — kills the fact."""
+        report = run_fixture("f1_fixed.py")
+        assert report.findings == []
+
+
+class TestF2MutationAfterValidate:
+    def test_violation(self):
+        report = run_fixture("f2_violation.py")
+        assert rules_of(report) == ["F2", "F2"]
+
+    def test_suppressed(self):
+        report = run_fixture("f2_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_fixed(self):
+        report = run_fixture("f2_fixed.py")
+        assert report.findings == []
+
+
+class TestF3PossiblyUnassigned:
+    def test_violation(self):
+        report = run_fixture("f3_violation.py")
+        assert rules_of(report) == ["F3", "F3"]
+
+    def test_suppressed(self):
+        report = run_fixture("f3_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_fixed(self):
+        report = run_fixture("f3_fixed.py")
+        assert report.findings == []
+
+
+class TestF4DeadStore:
+    def test_violation(self):
+        report = run_fixture("f4_violation.py")
+        assert rules_of(report) == ["F4", "F4"]
+
+    def test_suppressed(self):
+        report = run_fixture("f4_suppressed.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_fixed(self):
+        report = run_fixture("f4_fixed.py")
+        assert report.findings == []
