@@ -12,6 +12,8 @@ Commands:
 - ``workloads``      list the available workload profiles
 - ``lint``           run the simlint determinism/correctness linter
 - ``fuzz``           differential-oracle fuzzing of the uop cache designs
+- ``serve``          run the crash-safe simulation job service (HTTP/JSON)
+- ``chaos``          fault-injection harness proving crash-safe recovery
 """
 
 from __future__ import annotations
@@ -38,6 +40,12 @@ from .common.errors import ConfigError, ReproError
 from .core.simulator import Simulator
 from .lint.cli import add_lint_arguments, run_lint
 from .oracle.cli import add_fuzz_arguments, run_fuzz
+from .service.cli import (
+    add_chaos_arguments,
+    add_serve_arguments,
+    run_chaos_command,
+    run_serve,
+)
 from .runner.executor import RunnerConfig
 from .core.smt import simulate_smt
 from .telemetry import (
@@ -363,6 +371,17 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz", help="differential-oracle fuzzing of the uop cache designs")
     add_fuzz_arguments(fuzz_parser)
     fuzz_parser.set_defaults(func=run_fuzz)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the crash-safe simulation job service")
+    add_serve_arguments(serve_parser)
+    serve_parser.set_defaults(func=run_serve)
+
+    chaos_parser = commands.add_parser(
+        "chaos", help="chaos-test the job service: inject faults, verify "
+                      "byte-identical recovery")
+    add_chaos_arguments(chaos_parser)
+    chaos_parser.set_defaults(func=run_chaos_command)
     return parser
 
 

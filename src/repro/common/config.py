@@ -247,7 +247,7 @@ class MemoryHierarchyConfig:
 #: ``repro.telemetry.events.EVENT_CATEGORIES``; duplicated here so config
 #: stays import-light and validates without pulling in the telemetry package).
 TELEMETRY_EVENT_CATEGORIES: Tuple[str, ...] = (
-    "fetch", "uopcache", "loopcache", "interval")
+    "fetch", "uopcache", "loopcache", "interval", "service")
 
 
 @dataclass(frozen=True)

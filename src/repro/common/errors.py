@@ -49,3 +49,19 @@ class CheckpointError(RunnerError):
 
 class InjectedFaultError(RunnerError):
     """A deliberately injected fault (test-only failure path exercise)."""
+
+
+class ServiceError(ReproError):
+    """The simulation job service was misused or reached a bad state."""
+
+
+class ProtocolError(ServiceError):
+    """A job submission or service message was malformed."""
+
+
+class StoreError(ServiceError):
+    """The content-addressed result store could not be read or written."""
+
+
+class ChaosError(ServiceError):
+    """The chaos harness could not run or verify a schedule."""

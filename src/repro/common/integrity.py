@@ -1,0 +1,69 @@
+"""Checksummed JSON record envelopes.
+
+The checkpoint journal and the content-addressed result store both persist
+JSON records that must survive crashes and detect bit rot.  Both use the
+same envelope: the record payload is serialized to a *canonical* JSON body
+(sorted keys, no whitespace) and wrapped as ``{"body": <json string>,
+"crc": <crc32 of the body bytes>}``.
+
+Canonical bodies make equal payloads byte-equal on disk — which is what
+lets the chaos harness assert that a fault-injected run's persisted state
+is *byte-identical* to a fault-free run.  The CRC turns "whatever still
+parses" into "verified data": a torn write usually fails JSON parsing, but
+a bit flip inside a string would not, and the checksum catches it.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any, Dict
+
+
+class IntegrityError(ValueError):
+    """An envelope failed to parse or verify (torn write or bit rot)."""
+
+
+def canonical_json(payload: Dict[str, Any]) -> str:
+    """Canonical serialization: equal payloads produce equal bytes."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def crc32_of(text: str) -> int:
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def encode_envelope(payload: Dict[str, Any]) -> str:
+    """One checksummed record line (no trailing newline)."""
+    body = canonical_json(payload)
+    return json.dumps({"body": body, "crc": crc32_of(body)},
+                      separators=(",", ":"))
+
+
+def decode_envelope(text: str) -> Dict[str, Any]:
+    """Parse and checksum-verify one record; raises :class:`IntegrityError`.
+
+    The error message distinguishes parse failures (torn writes) from
+    checksum mismatches (bit rot) because operators triage them differently.
+    """
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise IntegrityError(f"unparseable record (torn write?): {error}") \
+            from error
+    if not isinstance(envelope, dict) or "body" not in envelope \
+            or "crc" not in envelope:
+        raise IntegrityError("record envelope missing body/crc fields")
+    body = envelope["body"]
+    if not isinstance(body, str):
+        raise IntegrityError("record body is not a string")
+    if crc32_of(body) != envelope["crc"]:
+        raise IntegrityError("CRC mismatch (bit rot or torn write)")
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as error:   # CRC passed but body unparseable
+        raise IntegrityError(f"checksummed body is not JSON: {error}") \
+            from error
+    if not isinstance(payload, dict):
+        raise IntegrityError("record payload is not an object")
+    return payload

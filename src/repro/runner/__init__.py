@@ -11,6 +11,7 @@ See :mod:`repro.runner.executor` for the robustness model (timeouts,
 retries, quarantine, checkpoint/resume).
 """
 
+from .backoff import jittered_backoff
 from .checkpoint import CheckpointJournal
 from .executor import JobFailure, RunnerConfig, SweepReport, SweepRunner
 from .faults import FaultPlan
@@ -34,4 +35,5 @@ __all__ = [
     "build_policy_jobs",
     "capacity_label",
     "execute_job",
+    "jittered_backoff",
 ]

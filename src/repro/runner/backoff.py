@@ -1,0 +1,41 @@
+"""Deterministic jittered exponential backoff.
+
+Exponential backoff without jitter synchronizes retries: every job that
+failed in the same sweep round becomes eligible again at the same instant,
+so the burst that overloaded a resource repeats itself on every retry
+("thundering herd").  The standard fix is to randomize each delay — but a
+sweep must stay reproducible, so the randomness has to come from the run's
+own seed, not from shared global RNG state.
+
+:func:`jittered_backoff` therefore derives a private :class:`random.Random`
+from ``(seed, stream, attempt)`` via the same SplitMix64 stream derivation
+the trace generators use (:func:`repro.common.hashing.derive_stream_seed`).
+The delay for a given ``(job, attempt, seed)`` triple is a pure function —
+two runs of the same sweep back off identically, while two jobs retrying in
+the same round spread out over ``[delay/2, delay)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..common.hashing import derive_stream_seed
+
+#: Jitter keeps at least half of the nominal exponential delay so retry
+#: pressure still decays geometrically; full jitter (uniform over
+#: ``[0, delay)``) can collapse a late attempt to a near-zero wait.
+_JITTER_FLOOR = 0.5
+
+
+def jittered_backoff(base_seconds: float, cap_seconds: float, attempt: int,
+                     seed: int, stream: str) -> float:
+    """Delay before retry ``attempt`` (0-based) of the named stream.
+
+    ``stream`` identifies the retrying entity (a job id, a worker slot);
+    distinct streams decorrelate even under the same seed and attempt.
+    """
+    nominal = min(base_seconds * (2 ** attempt), cap_seconds)
+    if nominal <= 0.0:
+        return 0.0
+    rng = random.Random(derive_stream_seed(seed, f"{stream}#{attempt}"))
+    return nominal * (_JITTER_FLOOR + (1.0 - _JITTER_FLOOR) * rng.random())

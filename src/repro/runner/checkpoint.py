@@ -1,12 +1,22 @@
 """Crash-safe checkpoint journal for sweep runs.
 
 Every completed job is journaled as one JSON line keyed by its
-:attr:`~repro.runner.job.SweepJob.job_id`.  Durability model: the journal is
-rewritten through a temporary file and atomically renamed over the previous
-version on every record, so at any kill point the on-disk file is a complete,
-parseable journal — either with or without the latest result, never a torn
-line.  (Sweeps are hundreds of jobs, each seconds to minutes of simulation,
-so the O(journal) rewrite is noise next to one job.)
+:attr:`~repro.runner.job.SweepJob.job_id`.  Durability model:
+
+- **Append with line-level fsync.**  ``record`` appends exactly one line and
+  fsyncs it, so journaling is O(1) per job regardless of sweep size and a
+  kill between records loses nothing.  A kill *during* a record leaves at
+  most one torn trailing line.
+- **Per-line CRC.**  Every record carries a CRC-32 of its canonical payload,
+  so recovery distinguishes "torn write" and "bit rot" from valid data
+  instead of trusting whatever still parses.
+- **Tail recovery, not tail tolerance.**  ``load`` drops a torn or
+  checksum-corrupt *trailing* record with a :class:`ReproWarning` and
+  truncates the file back to the last good byte, so later appends continue
+  a clean journal rather than concatenating onto garbage.  Corruption
+  anywhere *before* the tail cannot be explained by a crash mid-append and
+  still raises :class:`CheckpointError`: silently skipping completed work
+  would make ``--resume`` re-run jobs nondeterministically.
 
 A journal written by an incompatible format version is rejected with
 :class:`~repro.common.errors.CheckpointError` rather than silently resumed.
@@ -14,15 +24,18 @@ A journal written by an incompatible format version is rejected with
 
 from __future__ import annotations
 
-import json
 import os
+import warnings
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
-from ..common.errors import CheckpointError
+from ..common.errors import CheckpointError, ReproWarning
+from ..common.integrity import IntegrityError, decode_envelope, encode_envelope
 from ..core.metrics import SimulationResult
+from ..telemetry.events import EventKind
+from ..telemetry.hub import TelemetryHub
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 JOURNAL_NAME = "journal.jsonl"
 
@@ -30,11 +43,13 @@ PathLike = Union[str, Path]
 
 
 class CheckpointJournal:
-    """Append-only (logically) journal of completed sweep jobs."""
+    """Append-only journal of completed sweep jobs."""
 
-    def __init__(self, directory: PathLike) -> None:
+    def __init__(self, directory: PathLike,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self.directory = Path(directory)
         self.path = self.directory / JOURNAL_NAME
+        self.telemetry = telemetry
         self._records: Dict[str, Dict] = {}   # job_id -> result payload
 
     def __len__(self) -> int:
@@ -43,35 +58,68 @@ class CheckpointJournal:
     def __contains__(self, job_id: str) -> bool:
         return job_id in self._records
 
+    def _recover_tail(self, reason: str, keep_bytes: int) -> None:
+        """Drop the torn/corrupt trailing record: warn, emit, truncate."""
+        warnings.warn(
+            f"checkpoint journal {self.path}: dropping corrupt trailing "
+            f"record ({reason}); the journal was truncated to the last "
+            "good record and the job will be re-run", ReproWarning,
+            stacklevel=3)
+        if self.telemetry is not None:
+            self.telemetry.emit(EventKind.CHECKPOINT_RECOVERED,
+                                path=str(self.path), dropped=1, reason=reason)
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(keep_bytes)
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot truncate corrupt checkpoint journal {self.path}: "
+                f"{error}") from error
+
     def load(self) -> Dict[str, SimulationResult]:
         """Read the journal from disk; returns ``{job_id: result}``.
 
-        A truncated trailing line (a crash mid-write under a non-atomic
-        filesystem) is dropped; corruption anywhere else raises
-        :class:`CheckpointError` because silently skipping completed work
-        would make ``--resume`` re-run jobs nondeterministically.
+        A torn or checksum-corrupt trailing record (a crash mid-append, or
+        bit rot in the last line) is dropped with a :class:`ReproWarning`
+        and physically truncated away; corruption anywhere else raises
+        :class:`CheckpointError`.
         """
         self._records = {}
         if not self.path.exists():
             return {}
         try:
-            lines = self.path.read_text(encoding="utf-8").splitlines()
+            raw = self.path.read_bytes()
         except OSError as error:
             raise CheckpointError(
                 f"cannot read checkpoint journal {self.path}: {error}"
             ) from error
+        # Records with their byte offsets, so tail recovery can truncate
+        # back to the exact start of the first bad byte.
+        entries = []   # (line_number, byte_offset, text)
+        offset = 0
+        number = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            end = len(raw) if newline < 0 else newline
+            number += 1
+            text = raw[offset:end].decode("utf-8", errors="replace")
+            if text.strip():
+                entries.append((number, offset, text))
+            if newline < 0:
+                break
+            offset = newline + 1
+
         results: Dict[str, SimulationResult] = {}
-        for number, line in enumerate(lines):
-            if not line.strip():
-                continue
+        for index, (line_number, start, text) in enumerate(entries):
             try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as error:
-                if number == len(lines) - 1:
-                    break      # torn trailing write from a crash; drop it
+                payload = decode_envelope(text)
+            except IntegrityError as error:
+                if index == len(entries) - 1:
+                    self._recover_tail(str(error), start)
+                    break
                 raise CheckpointError(
                     f"corrupt checkpoint journal {self.path} at line "
-                    f"{number + 1}: {error}") from error
+                    f"{line_number}: {error}") from error
             version = payload.get("version")
             if version != FORMAT_VERSION:
                 raise CheckpointError(
@@ -83,23 +131,18 @@ class CheckpointJournal:
         return results
 
     def record(self, job_id: str, result: SimulationResult) -> None:
-        """Durably journal one completed job (atomic write + rename)."""
-        self._records[job_id] = result.to_dict()
-        self._flush()
-
-    def _flush(self) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp_path = self.path.with_suffix(".jsonl.tmp")
+        """Durably journal one completed job (single fsynced append)."""
+        payload = result.to_dict()
+        self._records[job_id] = payload
+        line = encode_envelope(
+            {"version": FORMAT_VERSION, "job_id": job_id,
+             "result": payload}) + "\n"
         try:
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                for job_id, payload in self._records.items():
-                    handle.write(json.dumps(
-                        {"version": FORMAT_VERSION, "job_id": job_id,
-                         "result": payload},
-                        separators=(",", ":")) + "\n")
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
                 handle.flush()
                 os.fsync(handle.fileno())
-            os.replace(tmp_path, self.path)
         except OSError as error:
             raise CheckpointError(
                 f"cannot write checkpoint journal {self.path}: {error}"

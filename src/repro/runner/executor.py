@@ -9,8 +9,11 @@ Robustness model:
   terminated; the job counts as failed and goes through the retry machinery.
   Inline execution cannot be preempted from within the same process, so
   timeouts require ``jobs >= 2``.
-- **Bounded retries with exponential backoff**: a failed job is re-queued
-  with delay ``backoff * 2**attempt`` (capped) up to ``retries`` times.
+- **Bounded retries with jittered exponential backoff**: a failed job is
+  re-queued with delay ``backoff * 2**attempt`` (capped), scaled by a
+  deterministic jitter factor derived from the job's seed (see
+  :mod:`repro.runner.backoff`) so simultaneous retries don't synchronize,
+  up to ``retries`` times.
 - **Quarantine**: a job that exhausts its retries is set aside with its full
   error history; the sweep *completes* and reports it instead of dying.
 - **Checkpointing**: every completed result is journaled crash-safely (see
@@ -33,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..common.errors import RunnerError
 from ..core.metrics import SimulationResult
+from .backoff import jittered_backoff
 from .checkpoint import CheckpointJournal
 from .faults import FaultPlan
 from .job import SweepJob, execute_job
@@ -202,10 +206,16 @@ class SweepRunner:
 
     # --------------------------------------------------------------- shared
 
-    def _backoff_delay(self, attempt: int) -> float:
+    def _backoff_delay(self, job: SweepJob, attempt: int) -> float:
+        """Deterministic jittered delay before retrying ``job``.
+
+        A pure function of ``(job.job_id, job.seed, attempt)``: the same
+        sweep run twice backs off identically, while jobs retrying in the
+        same round spread out instead of re-failing in lockstep.
+        """
         cfg = self.config
-        return min(cfg.backoff_seconds * (2 ** attempt),
-                   cfg.backoff_cap_seconds)
+        return jittered_backoff(cfg.backoff_seconds, cfg.backoff_cap_seconds,
+                                attempt, job.seed, f"backoff/{job.job_id}")
 
     def _record_success(self, job: SweepJob, result: SimulationResult,
                         attempt: int, completed, report, journal) -> None:
@@ -232,7 +242,7 @@ class SweepRunner:
             errors: List[str] = []
             for attempt in range(cfg.retries + 1):
                 if attempt:
-                    time.sleep(self._backoff_delay(attempt - 1))
+                    time.sleep(self._backoff_delay(job, attempt - 1))
                 try:
                     if self.fault_plan is not None:
                         self.fault_plan.apply(job.job_id, attempt)
@@ -272,7 +282,8 @@ class SweepRunner:
                 pending.append(_PendingAttempt(
                     job=entry.job, attempt=entry.attempt + 1,
                     eligible_at=(time.monotonic() +
-                                 self._backoff_delay(entry.attempt)),
+                                 self._backoff_delay(entry.job,
+                                                     entry.attempt)),
                     order=entry.order))
             else:
                 report.quarantined.append(JobFailure(

@@ -2,9 +2,9 @@
 
 Each event carries an :class:`EventKind`, the front-end cycle at which it was
 observed, and a flat ``args`` payload of primitives.  Kinds group into
-*categories* (``fetch`` / ``uopcache`` / ``loopcache`` / ``interval``) which
-are the unit of filtering: ``config.telemetry.events`` and the CLI's
-``--events`` flag select categories, not individual kinds.
+*categories* (``fetch`` / ``uopcache`` / ``loopcache`` / ``interval`` /
+``service``) which are the unit of filtering: ``config.telemetry.events``
+and the CLI's ``--events`` flag select categories, not individual kinds.
 
 The taxonomy (DESIGN.md section 10):
 
@@ -37,7 +37,22 @@ kind                      category    emitted when / payload
 ``interval``              interval    per-interval throughput sample
                                       (``start``, ``end``, ``insts``, ``uops``,
                                       ``ipc``, ``upc``)
+``worker_restart``        service     the job service replaced a dead, frozen
+                                      or overdue worker process (``worker``,
+                                      ``reason``, ``restarts``)
+``job_quarantined``       service     a job exhausted its retries and was set
+                                      aside (``job``, ``attempts``)
+``checkpoint_recovered``  service     a journal dropped a torn or corrupt
+                                      trailing record during load (``path``,
+                                      ``dropped``, ``reason``)
+``store_hit``             service     a result-store lookup was served from
+                                      disk (``key``)
+``store_corrupt``         service     a store record failed its checksum and
+                                      was quarantined (``key``, ``reason``)
 ========================  ==========  =============================================
+
+Service events timestamp from wall-free cycle 0: they are emitted by the
+job-service layer, outside any simulation, where no front-end clock exists.
 """
 
 from __future__ import annotations
@@ -62,6 +77,11 @@ class EventKind(enum.Enum):
     LOOP_REPLAY = "loop_replay"
     LOOP_EXIT = "loop_exit"
     INTERVAL = "interval"
+    WORKER_RESTART = "worker_restart"
+    JOB_QUARANTINED = "job_quarantined"
+    CHECKPOINT_RECOVERED = "checkpoint_recovered"
+    STORE_HIT = "store_hit"
+    STORE_CORRUPT = "store_corrupt"
 
 
 #: Category of each kind (the filtering granularity).
@@ -79,10 +99,15 @@ KIND_CATEGORY: Mapping[EventKind, str] = {
     EventKind.LOOP_REPLAY: "loopcache",
     EventKind.LOOP_EXIT: "loopcache",
     EventKind.INTERVAL: "interval",
+    EventKind.WORKER_RESTART: "service",
+    EventKind.JOB_QUARANTINED: "service",
+    EventKind.CHECKPOINT_RECOVERED: "service",
+    EventKind.STORE_HIT: "service",
+    EventKind.STORE_CORRUPT: "service",
 }
 
 #: Every selectable category, in presentation order.
-EVENT_CATEGORIES = ("fetch", "uopcache", "loopcache", "interval")
+EVENT_CATEGORIES = ("fetch", "uopcache", "loopcache", "interval", "service")
 
 
 class TelemetryEvent:

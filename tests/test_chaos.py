@@ -1,0 +1,156 @@
+"""Tests for the chaos harness: schedule determinism, fault injection
+plumbing, and the headline recovery-equivalence guarantee."""
+
+import warnings
+
+import pytest
+
+from repro.common.errors import ChaosError
+from repro.service.chaos import (
+    ChaosReport,
+    ChaosSpec,
+    build_worker_faults,
+    diff_stores,
+    run_chaos,
+)
+from repro.service.protocol import JobSpec
+from repro.service.store import ResultStore
+
+INSTRUCTIONS = 1200
+
+KEYS = ["aa" + "0" * 62, "bb" + "1" * 62, "cc" + "2" * 62]
+
+
+def _specs():
+    return [JobSpec(workload="bm-x64", num_instructions=INSTRUCTIONS,
+                    seed=7),
+            JobSpec(workload="bm-lla", design="clasp",
+                    num_instructions=INSTRUCTIONS, seed=7)]
+
+
+class TestChaosSpec:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ChaosError):
+            ChaosSpec(kills=-1)
+
+    def test_multiple_tears_rejected(self):
+        with pytest.raises(ChaosError, match="tears"):
+            ChaosSpec(tears=2)
+
+    def test_process_fault_count(self):
+        spec = ChaosSpec(kills=2, hangs=1, freezes=0, crashes=3)
+        assert spec.process_faults == 6
+
+
+class TestSchedule:
+    def test_deterministic_for_same_seed(self):
+        spec = ChaosSpec()
+        assert build_worker_faults(KEYS, 7, spec, 5.0) == \
+            build_worker_faults(KEYS, 7, spec, 5.0)
+
+    def test_differs_across_seeds(self):
+        spec = ChaosSpec(kills=2, hangs=2, freezes=2, crashes=2)
+        schedules = {str(sorted(build_worker_faults(KEYS, seed, spec,
+                                                    5.0).items()))
+                     for seed in range(6)}
+        assert len(schedules) > 1
+
+    def test_all_requested_faults_are_scheduled(self):
+        spec = ChaosSpec(kills=2, hangs=1, freezes=1, crashes=3)
+        plans = build_worker_faults(KEYS, 3, spec, 5.0)
+        scheduled = [next(iter(fault)) for plan in plans.values()
+                     for fault in plan]
+        assert sorted(scheduled) == sorted(
+            ["kill"] * 2 + ["hang"] + ["freeze"] + ["crash"] * 3)
+
+    def test_faults_spread_before_stacking(self):
+        # 3 faults over 3 jobs: every job gets exactly one.
+        spec = ChaosSpec(kills=1, hangs=1, freezes=1, crashes=0)
+        plans = build_worker_faults(KEYS, 11, spec, 5.0)
+        assert sorted(len(plan) for plan in plans.values()) == [1, 1, 1]
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ChaosError, match="no jobs"):
+            build_worker_faults([], 7, ChaosSpec(), 5.0)
+
+
+class TestDiffStores:
+    def test_identical_stores_have_no_diff(self, tmp_path):
+        left = ResultStore(tmp_path / "a")
+        right = ResultStore(tmp_path / "b")
+        for store in (left, right):
+            store.put(KEYS[0], {"cycles": 1})
+        assert diff_stores(left, right) == []
+
+    def test_missing_and_differing_records_reported(self, tmp_path):
+        left = ResultStore(tmp_path / "a")
+        right = ResultStore(tmp_path / "b")
+        left.put(KEYS[0], {"cycles": 1})
+        left.put(KEYS[1], {"cycles": 2})
+        right.put(KEYS[1], {"cycles": 3})
+        right.put(KEYS[2], {"cycles": 4})
+        diff = "\n".join(diff_stores(left, right))
+        assert "missing from chaos store" in diff
+        assert "bytes differ" in diff
+        assert "extra in chaos store" in diff
+
+
+class TestRunChaos:
+    def test_empty_specs_rejected(self, tmp_path):
+        with pytest.raises(ChaosError, match="at least one"):
+            run_chaos([], tmp_path)
+
+    def test_insufficient_retries_rejected(self, tmp_path):
+        with pytest.raises(ChaosError, match="retries"):
+            run_chaos(_specs(), tmp_path,
+                      chaos=ChaosSpec(kills=4, hangs=0, freezes=0,
+                                      crashes=0, tears=0, flips=0),
+                      retries=1)
+
+    def test_recovery_is_byte_equivalent(self, tmp_path):
+        """The headline guarantee, end to end, with every fault class that
+        doesn't cost a deadline of wall-clock (hang is covered by the
+        supervisor tests and the CLI smoke run)."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")   # recovery warns by design
+            report = run_chaos(
+                _specs(), tmp_path,
+                chaos=ChaosSpec(kills=1, hangs=0, freezes=1, crashes=1,
+                                tears=1, flips=1),
+                seed=11, workers=2, deadline_seconds=30.0,
+                heartbeat_timeout_seconds=0.5)
+        assert report.equivalent, report.describe()
+        assert report.ok and not report.store_diff
+        assert report.recovered_events.get("worker_restart", 0) >= 2
+        assert report.recovered_events.get("checkpoint_recovered") == 1
+        assert report.recovered_events.get("store_corrupt", 0) >= 1
+        text = report.describe()
+        assert "byte-identical" in text
+
+    def test_chaos_artifacts_left_for_inspection(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            run_chaos(_specs(), tmp_path,
+                      chaos=ChaosSpec(kills=0, hangs=0, freezes=0,
+                                      crashes=1, tears=1, flips=1),
+                      seed=5, deadline_seconds=30.0)
+        assert (tmp_path / "reference" / "store" / "objects").is_dir()
+        assert (tmp_path / "chaos" / "store" / "objects").is_dir()
+        # The bit-flipped record was quarantined, not destroyed.
+        assert list((tmp_path / "chaos" / "store" /
+                     "quarantine").glob("*.json"))
+
+
+class TestChaosReport:
+    def test_divergence_renders_loudly(self):
+        report = ChaosReport(jobs=2, injected={"kill": 1},
+                             store_diff=["bytes differ: aa/x.json"],
+                             equivalent=False)
+        text = report.describe()
+        assert "STORE DIVERGENCE" in text and "DIFFERENT" in text
+        assert not report.ok
+
+    def test_missing_recovery_fails_report(self):
+        report = ChaosReport(jobs=1, equivalent=True,
+                             missing_recoveries=["no event"])
+        assert not report.ok

@@ -1,0 +1,93 @@
+"""The end-to-end crash story: a real sweep process is SIGKILLed mid-flight
+and the resumed run must produce exactly what an uninterrupted run would.
+
+Unlike the in-process fault-plan tests, nothing here is simulated: a child
+interpreter runs the sweep with a checkpoint journal, the test kills it with
+SIGKILL (no atexit, no cleanup, possibly mid-write), and resume has to cope
+with whatever the journal looks like at that instant — including a torn
+trailing record.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.experiment import run_policy_sweep
+from repro.runner import RunnerConfig
+
+WORKLOADS = ["bm-x64", "bm-lla"]
+LABELS = ("baseline", "clasp")
+#: Big enough that each job takes a meaningful fraction of a second, so
+#: SIGKILL reliably lands while later jobs are still unstarted.
+INSTRUCTIONS = 60_000
+
+_CHILD_SCRIPT = """
+import sys
+from repro.core.experiment import run_policy_sweep
+from repro.runner import RunnerConfig
+
+run_policy_sweep(workloads={workloads!r}, labels={labels!r},
+                 num_instructions={instructions}, seed=7,
+                 runner=RunnerConfig(jobs=1, checkpoint_dir={ckpt!r}))
+"""
+
+
+def _journal_records(path):
+    if not path.exists():
+        return 0
+    return sum(1 for line in path.read_bytes().split(b"\n") if line.strip())
+
+
+@pytest.mark.slow
+def test_sigkill_mid_sweep_then_resume_matches_uninterrupted(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    script = _CHILD_SCRIPT.format(workloads=WORKLOADS, labels=list(LABELS),
+                                  instructions=INSTRUCTIONS,
+                                  ckpt=str(ckpt))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")]))
+    child = subprocess.Popen([sys.executable, "-c", script], env=env,
+                             cwd=os.path.dirname(os.path.dirname(
+                                 os.path.abspath(__file__))))
+
+    # Kill as soon as the first result hits the journal: at least one job
+    # is checkpointed, at least one is still in flight or unstarted.
+    journal = ckpt / "journal.jsonl"
+    deadline = time.monotonic() + 120.0
+    while _journal_records(journal) < 1:
+        if child.poll() is not None:
+            pytest.fail("sweep finished before it could be killed; "
+                        "raise INSTRUCTIONS")
+        if time.monotonic() > deadline:
+            child.kill()
+            pytest.fail("sweep produced no checkpoint record in time")
+        time.sleep(0.01)
+    child.send_signal(signal.SIGKILL)
+    child.wait(timeout=30)
+    assert child.returncode == -signal.SIGKILL
+
+    interrupted_records = _journal_records(journal)
+    total_jobs = len(WORKLOADS) * len(LABELS)
+    assert 1 <= interrupted_records < total_jobs
+
+    # Resume from whatever the kill left behind...
+    resumed = run_policy_sweep(
+        workloads=WORKLOADS, labels=LABELS,
+        num_instructions=INSTRUCTIONS, seed=7,
+        runner=RunnerConfig(jobs=1, checkpoint_dir=ckpt, resume=True))
+    assert resumed.report.ok
+    assert len(resumed.report.resumed) >= 1       # journal was actually used
+    assert len(resumed.report.resumed) + len(resumed.report.executed) == \
+        total_jobs
+
+    # ...and the final state must be indistinguishable from a run that was
+    # never interrupted.
+    clean = run_policy_sweep(workloads=WORKLOADS, labels=LABELS,
+                             num_instructions=INSTRUCTIONS, seed=7,
+                             runner=RunnerConfig(jobs=1))
+    assert resumed.results == clean.results

@@ -5,7 +5,12 @@ import json
 
 import pytest
 
-from repro.common.errors import CheckpointError, ReproError, RunnerError
+from repro.common.errors import (
+    CheckpointError,
+    ReproError,
+    ReproWarning,
+    RunnerError,
+)
 from repro.core.experiment import run_policy_sweep, run_single, policy_config
 from repro.core.metrics import SimulationResult
 from repro.runner import (
@@ -95,8 +100,52 @@ class TestCheckpointJournal:
         journal.record("w/a", self._result())
         with open(journal.path, "a", encoding="utf-8") as handle:
             handle.write('{"version":1,"job_id":"w/b","resu')   # torn write
-        loaded = CheckpointJournal(tmp_path).load()
+        with pytest.warns(ReproWarning, match="trailing record"):
+            loaded = CheckpointJournal(tmp_path).load()
         assert set(loaded) == {"w/a"}
+
+    def test_truncation_mid_record_recovers_and_journal_stays_usable(
+            self, tmp_path):
+        """A record cut mid-write is dropped; the journal keeps working."""
+        journal = CheckpointJournal(tmp_path)
+        journal.record("w/a", self._result("w", "a"))
+        intact_size = journal.path.stat().st_size
+        journal.record("w/b", self._result("w", "b"))
+        full_size = journal.path.stat().st_size
+        # Cut the second record mid-line, as a crash during write would.
+        with open(journal.path, "r+b") as handle:
+            handle.truncate(intact_size + (full_size - intact_size) // 2)
+        with pytest.warns(ReproWarning, match="trailing record"):
+            loaded = CheckpointJournal(tmp_path).load()
+        assert set(loaded) == {"w/a"}
+        # Recovery physically truncated the torn bytes, so appends after
+        # resume produce a clean journal (no warning on the next load).
+        journal2 = CheckpointJournal(tmp_path)
+        journal2.record("w/b", self._result("w", "b"))
+        reloaded = CheckpointJournal(tmp_path).load()
+        assert set(reloaded) == {"w/a", "w/b"}
+
+    def test_bitrot_in_trailing_record_recovers(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.record("w/a", self._result("w", "a"))
+        journal.record("w/b", self._result("w", "b"))
+        raw = bytearray(journal.path.read_bytes())
+        raw[-10] ^= 0x04        # flip one bit inside the last record
+        journal.path.write_bytes(bytes(raw))
+        with pytest.warns(ReproWarning, match="trailing record"):
+            loaded = CheckpointJournal(tmp_path).load()
+        assert set(loaded) == {"w/a"}
+
+    def test_recovery_emits_checkpoint_recovered_event(self, tmp_path):
+        from repro.telemetry import TelemetryHub
+        journal = CheckpointJournal(tmp_path)
+        journal.record("w/a", self._result())
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('torn')
+        hub = TelemetryHub(categories=("service",))
+        with pytest.warns(ReproWarning):
+            CheckpointJournal(tmp_path, telemetry=hub).load()
+        assert hub.summary() == {"checkpoint_recovered": 1}
 
     def test_mid_file_corruption_raises(self, tmp_path):
         journal = CheckpointJournal(tmp_path)
@@ -107,12 +156,62 @@ class TestCheckpointJournal:
             CheckpointJournal(tmp_path).load()
 
     def test_version_mismatch_raises(self, tmp_path):
+        import zlib
         journal = CheckpointJournal(tmp_path)
         journal.path.parent.mkdir(parents=True, exist_ok=True)
-        journal.path.write_text(
-            '{"version":99,"job_id":"w/a","result":{}}\n', encoding="utf-8")
+        body = json.dumps({"version": 99, "job_id": "w/a", "result": {}},
+                          sort_keys=True, separators=(",", ":"))
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        line = json.dumps({"body": body, "crc": crc},
+                          separators=(",", ":"))
+        journal.path.write_text(line + "\n", encoding="utf-8")
         with pytest.raises(CheckpointError):
             journal.load()
+
+
+class TestJitteredBackoff:
+    def test_deterministic_for_same_inputs(self):
+        from repro.runner import jittered_backoff
+        a = jittered_backoff(0.1, 5.0, 2, seed=7, stream="backoff/w/a")
+        b = jittered_backoff(0.1, 5.0, 2, seed=7, stream="backoff/w/a")
+        assert a == b
+
+    def test_varies_across_attempts_jobs_and_seeds(self):
+        from repro.runner import jittered_backoff
+        base = jittered_backoff(0.1, 5.0, 2, seed=7, stream="backoff/w/a")
+        assert jittered_backoff(0.1, 5.0, 3, seed=7,
+                                stream="backoff/w/a") != base
+        assert jittered_backoff(0.1, 5.0, 2, seed=7,
+                                stream="backoff/w/b") != base
+        assert jittered_backoff(0.1, 5.0, 2, seed=8,
+                                stream="backoff/w/a") != base
+
+    def test_jitter_stays_within_half_to_full_nominal(self):
+        from repro.runner import jittered_backoff
+        for attempt in range(6):
+            nominal = min(0.1 * (2 ** attempt), 5.0)
+            delay = jittered_backoff(0.1, 5.0, attempt, seed=3,
+                                     stream="s")
+            assert nominal * 0.5 <= delay < nominal
+
+    def test_cap_bounds_the_exponential(self):
+        from repro.runner import jittered_backoff
+        assert jittered_backoff(1.0, 2.0, 50, seed=1, stream="s") < 2.0
+
+    def test_zero_base_is_zero(self):
+        from repro.runner import jittered_backoff
+        assert jittered_backoff(0.0, 5.0, 3, seed=1, stream="s") == 0.0
+
+    def test_executor_backoff_is_deterministic_per_job(self):
+        from repro.runner.executor import SweepRunner
+        runner = SweepRunner(RunnerConfig(jobs=1))
+        job_a, job_b = _jobs(["bm-x64"], ("baseline", "clasp"))[:2]
+        assert runner._backoff_delay(job_a, 0) == \
+            runner._backoff_delay(job_a, 0)
+        assert runner._backoff_delay(job_a, 0) != \
+            runner._backoff_delay(job_b, 0)
+        assert runner._backoff_delay(job_a, 0) != \
+            runner._backoff_delay(job_a, 1)
 
 
 class TestRunnerConfigValidation:

@@ -1,0 +1,53 @@
+"""Tests for the ``repro serve`` / ``repro chaos`` CLI entry points."""
+
+import warnings
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.service.cli import _chaos_specs
+
+
+class TestParserWiring:
+    def test_serve_and_chaos_are_registered(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--port", "0",
+                                   "--workers", "3"])
+        assert serve.workers == 3 and serve.port == 0
+        chaos = parser.parse_args(["chaos", "--seed", "5", "--kills", "2"])
+        assert chaos.seed == 5 and chaos.kills == 2
+
+    def test_chaos_rejects_multiple_tears(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--tears", "2"])
+
+    def test_chaos_specs_cycle_designs(self):
+        args = build_parser().parse_args(
+            ["chaos", "--workloads", "redis,nutch,jvm,mahout",
+             "--instructions", "1000"])
+        specs = _chaos_specs(args)
+        assert [spec.workload for spec in specs] == \
+            ["redis", "nutch", "jvm", "mahout"]
+        assert len({spec.design for spec in specs}) == 3
+        assert all(spec.num_instructions == 1000 for spec in specs)
+
+
+class TestChaosCommand:
+    @pytest.mark.slow
+    def test_chaos_run_exits_zero_and_reports(self, tmp_path, capsys):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")   # recovery warns by design
+            code = main(["chaos", "--seed", "7", "--instructions", "1200",
+                         "--workloads", "bm-x64,bm-lla",
+                         "--hangs", "0", "--freezes", "0",
+                         "--workdir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "byte-identical" in out
+        # --workdir keeps the artifacts for inspection.
+        assert (tmp_path / "chaos" / "store" / "objects").is_dir()
+
+    def test_unknown_workload_is_a_clean_error(self, capsys):
+        code = main(["chaos", "--workloads", "nope"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err

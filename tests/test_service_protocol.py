@@ -1,0 +1,110 @@
+"""Tests for the job-submission protocol: spec validation and content keys."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.experiment import policy_config, workload_trace
+from repro.core.simulator import Simulator
+from repro.service.protocol import KEY_VERSION, JobSpec, execute_spec
+
+INSTRUCTIONS = 1500
+
+
+def _spec(**overrides):
+    base = dict(workload="bm-x64", design="clasp",
+                num_instructions=INSTRUCTIONS, seed=7)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestJobSpecValidation:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown workload"):
+            JobSpec(workload="nope")
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown design"):
+            _spec(design="magic")
+
+    @pytest.mark.parametrize("field", ["capacity_uops",
+                                       "max_entries_per_line",
+                                       "num_instructions"])
+    def test_nonpositive_ints_rejected(self, field):
+        with pytest.raises(ProtocolError, match="must be positive"):
+            _spec(**{field: 0})
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ProtocolError, match="warmup"):
+            _spec(warmup_instructions=-1)
+
+
+class TestContentKey:
+    def test_key_is_stable(self):
+        assert _spec().key == _spec().key
+
+    def test_key_depends_on_every_field(self):
+        base = _spec()
+        for change in (dict(workload="redis"), dict(design="pwac"),
+                       dict(capacity_uops=4096),
+                       dict(max_entries_per_line=3),
+                       dict(num_instructions=2000),
+                       dict(warmup_instructions=100), dict(seed=8)):
+            assert _spec(**change).key != base.key, change
+
+    def test_key_folds_in_version(self):
+        assert _spec().canonical()["key_version"] == KEY_VERSION
+
+    def test_key_ignores_submission_field_order(self):
+        forward = JobSpec.from_dict(
+            {"workload": "bm-x64", "design": "rac", "seed": 3})
+        backward = JobSpec.from_dict(
+            {"seed": 3, "design": "rac", "workload": "bm-x64"})
+        assert forward.key == backward.key
+
+
+class TestFromDict:
+    def test_round_trip(self):
+        spec = _spec()
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults_apply(self):
+        spec = JobSpec.from_dict({"workload": "bm-x64"})
+        assert spec.design == "baseline"
+        assert spec.capacity_uops == 2048
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown job spec field"):
+            JobSpec.from_dict({"workload": "bm-x64", "sede": 3})
+
+    def test_missing_workload_rejected(self):
+        with pytest.raises(ProtocolError, match="workload"):
+            JobSpec.from_dict({"design": "clasp"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            JobSpec.from_dict(["bm-x64"])
+
+    def test_non_string_workload_rejected(self):
+        with pytest.raises(ProtocolError, match="must be a string"):
+            JobSpec.from_dict({"workload": 42})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ProtocolError, match="must be an integer"):
+            JobSpec.from_dict({"workload": "bm-x64", "seed": True})
+
+    def test_non_int_count_rejected(self):
+        with pytest.raises(ProtocolError, match="must be an integer"):
+            JobSpec.from_dict({"workload": "bm-x64",
+                               "num_instructions": "many"})
+
+
+class TestExecuteSpec:
+    def test_matches_direct_simulation(self):
+        spec = _spec(warmup_instructions=300)
+        config = dataclasses.replace(
+            policy_config("clasp", 2048, 2), warmup_instructions=300)
+        trace = workload_trace("bm-x64", INSTRUCTIONS, seed=7)
+        direct = Simulator(trace, config, "clasp").run()
+        assert execute_spec(spec) == direct

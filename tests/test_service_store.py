@@ -1,0 +1,135 @@
+"""Tests for the content-addressed result store: atomicity, integrity,
+quarantine, and byte-level snapshot equivalence."""
+
+import pytest
+
+from repro.common.errors import ReproWarning, StoreError
+from repro.service.store import ResultStore
+from repro.telemetry import TelemetryHub
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+PAYLOAD = {"workload": "bm-x64", "cycles": 123, "nested": {"upc": 1.5}}
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, PAYLOAD)
+        assert store.get(KEY_A) == PAYLOAD
+
+    def test_missing_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).get(KEY_A) is None
+
+    def test_contains_len_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_B, PAYLOAD)
+        store.put(KEY_A, PAYLOAD)
+        assert KEY_A in store and KEY_B in store
+        assert len(store) == 2
+        assert store.keys() == sorted([KEY_A, KEY_B])
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, PAYLOAD)
+        before = path.read_bytes()
+        store.put(KEY_A, PAYLOAD)
+        assert path.read_bytes() == before
+
+    def test_put_overwrites_changed_payload(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"cycles": 1})
+        store.put(KEY_A, {"cycles": 2})
+        assert store.get(KEY_A) == {"cycles": 2}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, PAYLOAD)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(StoreError, match="malformed store key"):
+            store.put("ZZ-not-hex", PAYLOAD)
+        with pytest.raises(StoreError, match="malformed store key"):
+            store.get("..")   # path traversal shapes are malformed too
+
+    def test_hashed_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, PAYLOAD)
+        assert path.parent.name == KEY_A[:2]
+
+
+class TestCorruptionQuarantine:
+    def _corrupt(self, store, key, mutate):
+        path = store.object_path(key)
+        path.write_bytes(mutate(path.read_bytes()))
+
+    @pytest.mark.parametrize("mutate", [
+        lambda raw: raw[:-10],                         # truncated
+        lambda raw: raw.replace(b"123", b"999"),       # payload bitrot
+        lambda raw: raw[:40] + b"\xf5\xf6" + raw[42:],  # not UTF-8
+        lambda raw: b"not json at all\n",
+    ], ids=["truncated", "bitrot", "non-utf8", "garbage"])
+    def test_corrupt_record_is_quarantined_not_served(self, tmp_path,
+                                                      mutate):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, PAYLOAD)
+        self._corrupt(store, KEY_A, mutate)
+        with pytest.warns(ReproWarning, match="corrupt"):
+            assert store.get(KEY_A) is None
+        # The record was moved aside, not deleted: inspectable, not servable.
+        assert not store.object_path(KEY_A).exists()
+        assert (store.quarantine_dir / f"{KEY_A}.json").exists()
+        assert store.get(KEY_A) is None   # now a plain miss, no warning
+
+    def test_record_naming_wrong_key_is_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, PAYLOAD)
+        path_b = store.object_path(KEY_B)
+        path_b.parent.mkdir(parents=True, exist_ok=True)
+        path_b.write_bytes(store.object_path(KEY_A).read_bytes())
+        with pytest.warns(ReproWarning, match="names key"):
+            assert store.get(KEY_B) is None
+
+    def test_corruption_emits_store_corrupt_event(self, tmp_path):
+        hub = TelemetryHub(categories=("service",))
+        store = ResultStore(tmp_path, telemetry=hub)
+        store.put(KEY_A, PAYLOAD)
+        self._corrupt(store, KEY_A, lambda raw: raw[:-5])
+        with pytest.warns(ReproWarning):
+            store.get(KEY_A)
+        assert hub.summary().get("store_corrupt") == 1
+
+    def test_hit_emits_store_hit_event(self, tmp_path):
+        hub = TelemetryHub(categories=("service",))
+        store = ResultStore(tmp_path, telemetry=hub)
+        store.put(KEY_A, PAYLOAD)
+        store.get(KEY_A)
+        assert hub.summary().get("store_hit") == 1
+
+
+class TestSnapshot:
+    def test_equal_content_is_byte_identical(self, tmp_path):
+        left = ResultStore(tmp_path / "left")
+        right = ResultStore(tmp_path / "right")
+        for store in (left, right):
+            store.put(KEY_A, PAYLOAD)
+            store.put(KEY_B, {"cycles": 7})
+        assert left.snapshot() == right.snapshot()
+
+    def test_snapshot_reflects_payload_difference(self, tmp_path):
+        left = ResultStore(tmp_path / "left")
+        right = ResultStore(tmp_path / "right")
+        left.put(KEY_A, {"cycles": 1})
+        right.put(KEY_A, {"cycles": 2})
+        assert left.snapshot() != right.snapshot()
+
+    def test_snapshot_excludes_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, PAYLOAD)
+        path = store.object_path(KEY_A)
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.warns(ReproWarning):
+            store.get(KEY_A)
+        assert store.snapshot() == {}
