@@ -11,7 +11,12 @@ add a rule).
 Usage: ``python -m repro lint [paths]`` (the ``lint`` CLI subcommand).
 """
 
-from .baseline import apply_baseline, load_baseline, write_baseline
+from .baseline import (
+    apply_baseline,
+    load_baseline,
+    update_baseline,
+    write_baseline,
+)
 from .engine import (
     ImportMap,
     LintEngine,
@@ -29,6 +34,7 @@ from .finding import Finding, Severity
 from . import rules as _rules  # noqa: F401  (imports register the rule set)
 from . import flowrules as _flowrules  # noqa: F401  (F1-F4)
 from . import contracts as _contracts  # noqa: F401  (X1-X3)
+from . import asyncrules as _asyncrules  # noqa: F401  (A1-A5)
 
 __all__ = [
     "Finding",
@@ -46,5 +52,6 @@ __all__ = [
     "load_baseline",
     "register",
     "rule_catalog",
+    "update_baseline",
     "write_baseline",
 ]

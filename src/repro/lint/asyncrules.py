@@ -1,0 +1,453 @@
+"""Async/thread-safety rules A1-A5 over the interprocedural effect analysis.
+
+The service layer (PR 6) is an asyncio HTTP front end over a threaded,
+multiprocessing worker pool — a shape with failure modes no per-function
+rule can see:
+
+- **A1** — a blocking call (direct or transitively through any number of
+  project functions) on the event loop: the whole server stalls for every
+  client until the call returns.
+- **A2** — a coroutine object created but never awaited or scheduled: the
+  body silently never runs (Python only warns at garbage-collection time,
+  in production usually never).
+- **A3** — ``await`` while holding a ``threading.Lock``: the coroutine
+  suspends with the lock held; any *thread* then contending for that lock
+  blocks, and if the loop thread itself needs it next, deadlock.
+- **A4** — an attribute written both from event-loop code and from code
+  reachable from a thread target without a common lock: a data race the
+  GIL does not excuse (read-modify-write interleaves).
+- **A5** — an asyncio primitive (``asyncio.Lock``, ``asyncio.Queue``, ...)
+  touched from non-async code reachable from a thread target: asyncio
+  primitives are not thread-safe; cross-thread signalling must go through
+  ``loop.call_soon_threadsafe`` / ``run_coroutine_threadsafe``.
+
+All five share one :class:`AsyncAnalysis` (call graph + effect fixpoint +
+loop-side/thread-side reachability), built once per engine run and cached
+on the :class:`~repro.lint.engine.ProjectContext`.  Findings carry
+``chain`` traces — caller, intermediate hops, concrete sink — so the
+report explains *why* the loop-side call is considered blocking.
+
+Soundness caveats (see DESIGN.md section 14): resolution is may-call, so
+an unresolvable receiver means a *missed* edge, not a spurious one;
+``__init__`` writes are exempt from A4 (construction happens-before
+sharing); process targets are excluded from the thread side (no shared
+memory).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import (
+    BLOCKING,
+    EDGE_EXECUTOR,
+    EDGE_THREAD,
+    CallGraph,
+    CallSite,
+    FunctionDecl,
+    build_call_graph,
+)
+from .effects import EffectAnalysis, analyze_effects
+from .engine import Module, ProjectRule, register
+from .finding import Finding, Severity
+
+#: asyncio entry points that *consume* a coroutine object (for A2).
+_COROUTINE_SCHEDULERS = frozenset((
+    "create_task", "ensure_future", "gather", "wait", "wait_for",
+    "shield", "run", "run_until_complete", "run_coroutine_threadsafe",
+    "as_completed", "timeout"))
+
+
+@dataclass
+class AsyncAnalysis:
+    """Shared artifact of one engine run: graph, effects, reachability."""
+
+    graph: CallGraph
+    effects: EffectAnalysis
+    #: Functions that (may) run on the event loop: every ``async def``
+    #: plus the closure of plain ``call`` edges out of them.
+    loop_side: Set[str] = field(default_factory=set)
+    #: Functions that (may) run on a worker thread: thread/executor spawn
+    #: targets plus the closure of plain ``call`` edges out of them.
+    #: Process targets are deliberately excluded — no shared memory.
+    thread_side: Set[str] = field(default_factory=set)
+    #: thread-side entry fid -> (spawning fid, spawn site) evidence.
+    spawn_evidence: Dict[str, Tuple[str, CallSite]] = \
+        field(default_factory=dict)
+
+
+def _call_closure(graph: CallGraph, roots: Set[str]) -> Set[str]:
+    reached = set(roots)
+    frontier = sorted(roots)
+    while frontier:
+        fid = frontier.pop()
+        for callee, kind in graph.successors(fid):
+            if kind == "call" and callee in graph.functions and \
+                    callee not in reached:
+                reached.add(callee)
+                frontier.append(callee)
+    return reached
+
+
+def build_async_analysis(modules: Sequence[Module]) -> AsyncAnalysis:
+    graph = build_call_graph(modules)
+    effects = analyze_effects(graph)
+    async_fids = {fid for fid, decl in graph.functions.items()
+                  if decl.is_async}
+    analysis = AsyncAnalysis(graph=graph, effects=effects)
+    analysis.loop_side = _call_closure(graph, async_fids)
+
+    spawn_roots: Set[str] = set()
+    for fid in sorted(graph.functions):
+        for site in graph.facts[fid].sites:
+            for target, kind in site.spawned:
+                if kind in (EDGE_THREAD, EDGE_EXECUTOR) and \
+                        target in graph.functions:
+                    spawn_roots.add(target)
+                    analysis.spawn_evidence.setdefault(target, (fid, site))
+    analysis.thread_side = _call_closure(graph, spawn_roots)
+    return analysis
+
+
+class AsyncRule(ProjectRule):
+    """Base: builds (or reuses) the shared analysis, then delegates."""
+
+    _CACHE_KEY = "async:analysis"
+    severity = Severity.ERROR
+    scope = None
+
+    def analysis(self, modules: Sequence[Module]) -> AsyncAnalysis:
+        if self.context is None:
+            return build_async_analysis(modules)
+        cached = self.context.cache.get(self._CACHE_KEY)
+        if cached is None:
+            cached = build_async_analysis(self.context.modules)
+            self.context.cache[self._CACHE_KEY] = cached
+        return cached
+
+    def check_project(self, modules: Sequence[Module]) -> List[Finding]:
+        analysis = self.analysis(modules)
+        scoped = {module.rel for module in modules}
+        return [finding for finding in self.collect(analysis)
+                if finding.path in scoped]
+
+    def collect(self, analysis: AsyncAnalysis) -> List[Finding]:
+        raise NotImplementedError
+
+
+def _spawn_chain(analysis: AsyncAnalysis, fid: str) -> Tuple[str, ...]:
+    """Evidence that ``fid`` is thread-reachable: spawn site + call path."""
+    graph = analysis.graph
+    # Find a spawn entry from which fid is call-reachable (BFS for a path).
+    for entry in sorted(analysis.spawn_evidence):
+        parents: Dict[str, str] = {}
+        frontier = [entry]
+        seen = {entry}
+        found = entry == fid
+        while frontier and not found:
+            current = frontier.pop(0)
+            for callee, kind in graph.successors(current):
+                if kind != "call" or callee not in graph.functions or \
+                        callee in seen:
+                    continue
+                seen.add(callee)
+                parents[callee] = current
+                if callee == fid:
+                    found = True
+                    break
+                frontier.append(callee)
+        if not found:
+            continue
+        spawner_fid, site = analysis.spawn_evidence[entry]
+        spawner = graph.functions[spawner_fid]
+        steps = [f"{spawner.qualname} ({spawner.module_rel}:{site.line}) "
+                 f"spawns {graph.functions[entry].qualname}"]
+        path: List[str] = []
+        cursor = fid
+        while cursor != entry:
+            path.append(cursor)
+            cursor = parents[cursor]
+        for hop_from, hop_to in zip([entry] + path[::-1], path[::-1]):
+            steps.append(f"{graph.functions[hop_from].qualname} -> "
+                         f"{graph.functions[hop_to].qualname}")
+        return tuple(steps)
+    return ()
+
+
+@register
+class A1BlockingOnEventLoop(AsyncRule):
+    id = "A1"
+    title = "Blocking call reachable from async code"
+    rationale = ("A blocking call on the event loop stalls every client of "
+                 "the server until it returns; off-load it with "
+                 "loop.run_in_executor(...) or asyncio.to_thread(...).")
+
+    def collect(self, analysis: AsyncAnalysis) -> List[Finding]:
+        graph, effects = analysis.graph, analysis.effects
+        findings: List[Finding] = []
+        for fid in sorted(graph.functions):
+            decl = graph.functions[fid]
+            if not decl.is_async:
+                continue
+            for site in graph.facts[fid].sites:
+                if site.is_lock_with:
+                    continue        # A3's territory: reported once, there
+                finding = self._site_finding(decl, site, graph, effects)
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    def _site_finding(self, decl: FunctionDecl, site: CallSite,
+                      graph: CallGraph, effects: EffectAnalysis
+                      ) -> Optional[Finding]:
+        direct = [sink for effect, sink in site.sinks if effect == BLOCKING]
+        if direct:
+            sink = direct[0]
+            chain = (f"{decl.qualname} ({decl.module_rel}:{site.line}) "
+                     f"-> {sink}",)
+            return self._finding(decl, site, sink, chain)
+        for callee in site.callees:
+            callee_decl = graph.functions.get(callee)
+            if callee_decl is None or callee_decl.is_async:
+                # An async callee that blocks is reported in its own body —
+                # one finding per offending call, not per await chain.
+                continue
+            if effects.has(callee, BLOCKING):
+                sink = effects.sink(callee, BLOCKING) or "blocking call"
+                chain = (
+                    f"{decl.qualname} ({decl.module_rel}:{site.line}) "
+                    f"-> {callee_decl.qualname}",
+                ) + effects.chain(callee, BLOCKING)
+                return self._finding(decl, site, sink, chain)
+        return None
+
+    def _finding(self, decl: FunctionDecl, site: CallSite, sink: str,
+                 chain: Tuple[str, ...]) -> Finding:
+        return Finding(
+            rule=self.id, path=decl.module_rel, line=site.line,
+            col=site.col, severity=self.severity, chain=chain,
+            message=(f"blocking call on the event loop: '{site.label}' in "
+                     f"'async def {decl.qualname}' reaches '{sink}'; "
+                     "wrap it in loop.run_in_executor(...) or "
+                     "asyncio.to_thread(...)"))
+
+
+@register
+class A2CoroutineNeverAwaited(AsyncRule):
+    id = "A2"
+    title = "Coroutine created but never awaited or scheduled"
+    rationale = ("Calling an async def only builds a coroutine object; "
+                 "without await/create_task/gather the body never runs "
+                 "and the bug is silent.")
+
+    def collect(self, analysis: AsyncAnalysis) -> List[Finding]:
+        graph = analysis.graph
+        findings: List[Finding] = []
+        for fid in sorted(graph.functions):
+            decl = graph.functions[fid]
+            parents = _parent_map(decl.node)
+            for site in graph.facts[fid].sites:
+                if not isinstance(site.node, ast.Call) or not site.callees:
+                    continue
+                callee_decls = [graph.functions[c] for c in site.callees
+                                if c in graph.functions]
+                if not callee_decls or \
+                        not all(c.is_async for c in callee_decls):
+                    continue
+                verdict = _coroutine_consumption(site.node, parents,
+                                                 decl.node)
+                if verdict is None:
+                    continue
+                findings.append(Finding(
+                    rule=self.id, path=decl.module_rel, line=site.line,
+                    col=site.col, severity=self.severity,
+                    chain=(f"{decl.qualname} ({decl.module_rel}:"
+                           f"{site.line}) builds coroutine "
+                           f"{callee_decls[0].qualname}() and "
+                           f"{verdict}",),
+                    message=(f"coroutine '{site.label}(...)' is created in "
+                             f"'{decl.qualname}' but {verdict}; await it "
+                             "or schedule it with asyncio.create_task")))
+        return findings
+
+
+def _parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)) and node is not root:
+                continue
+            parents[child] = node
+            stack.append(child)
+    return parents
+
+
+def _coroutine_consumption(call: ast.Call,
+                           parents: Dict[ast.AST, ast.AST],
+                           function_node: ast.AST) -> Optional[str]:
+    """None when the coroutine is consumed; else a short description of
+    how it leaks."""
+    node: ast.AST = call
+    while node in parents:
+        parent = parents[node]
+        if isinstance(parent, ast.Await):
+            return None
+        if isinstance(parent, ast.Call) and parent.func is not node:
+            # Argument to another call: consumed if that call is a known
+            # scheduler; any other callee is conservatively assumed to
+            # await/schedule it (it escapes our view).
+            return None
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return None
+        if isinstance(parent, ast.Expr):
+            return "discards it without awaiting"
+        if isinstance(parent, ast.Assign):
+            names = [target.id for target in parent.targets
+                     if isinstance(target, ast.Name)]
+            if not names:
+                return None     # stored into a structure: escapes our view
+            if _name_used_after(function_node, parent, names):
+                return None
+            return (f"binds it to '{names[0]}' which is never used again")
+        node = parent
+    return None
+
+
+def _name_used_after(function_node: ast.AST, assign: ast.Assign,
+                     names: List[str]) -> bool:
+    wanted = set(names)
+    for node in ast.walk(function_node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                and node.id in wanted:
+            return True
+    return False
+
+
+@register
+class A3AwaitUnderThreadingLock(AsyncRule):
+    id = "A3"
+    title = "await while holding a threading.Lock"
+    rationale = ("Suspending with a threading lock held blocks every "
+                 "thread that contends for it until the coroutine resumes "
+                 "— and deadlocks if the loop thread needs it first. Use "
+                 "asyncio.Lock in coroutines.")
+
+    def collect(self, analysis: AsyncAnalysis) -> List[Finding]:
+        graph = analysis.graph
+        findings: List[Finding] = []
+        for fid in sorted(graph.functions):
+            decl = graph.functions[fid]
+            if not decl.is_async:
+                continue
+            for lock_with in graph.facts[fid].lock_withs:
+                if not lock_with.contains_await:
+                    continue
+                findings.append(Finding(
+                    rule=self.id, path=decl.module_rel,
+                    line=lock_with.node.lineno,
+                    col=lock_with.node.col_offset, severity=self.severity,
+                    chain=(f"{decl.qualname} ({decl.module_rel}:"
+                           f"{lock_with.node.lineno}) awaits inside "
+                           f"'with {lock_with.label}:'",),
+                    message=(f"'async def {decl.qualname}' awaits while "
+                             f"holding threading lock '{lock_with.label}'; "
+                             "the lock stays held across the suspension "
+                             "point — use asyncio.Lock instead")))
+        return findings
+
+
+@register
+class A4CrossThreadWriteWithoutLock(AsyncRule):
+    id = "A4"
+    title = "Attribute written from event loop and thread without a lock"
+    rationale = ("A field mutated from both the event loop and a spawned "
+                 "thread without a common lock is a data race; the GIL "
+                 "does not make read-modify-write atomic.")
+
+    def collect(self, analysis: AsyncAnalysis) -> List[Finding]:
+        graph = analysis.graph
+        by_attr: Dict[Tuple[str, str],
+                      List[Tuple[str, FunctionDecl, object]]] = {}
+        for fid in sorted(graph.functions):
+            decl = graph.functions[fid]
+            if decl.class_name is None or \
+                    decl.qualname.endswith("__init__"):
+                continue    # construction happens-before sharing
+            for write in graph.facts[fid].writes:
+                by_attr.setdefault((decl.class_name, write.attr),
+                                   []).append((fid, decl, write))
+
+        findings: List[Finding] = []
+        for (class_name, attr) in sorted(by_attr):
+            writes = by_attr[(class_name, attr)]
+            loop_writes = [w for w in writes
+                           if w[0] in analysis.loop_side]
+            thread_writes = [w for w in writes
+                             if w[0] in analysis.thread_side]
+            if not loop_writes or not thread_writes:
+                continue
+            held_sets = [w[2].held                      # type: ignore[attr-defined]
+                         for w in loop_writes + thread_writes]
+            common = set(held_sets[0])
+            for held in held_sets[1:]:
+                common &= held
+            if common:
+                continue
+            _fid, decl, write = loop_writes[0]
+            _tfid, thread_decl, thread_write = thread_writes[0]
+            node = write.node                           # type: ignore[attr-defined]
+            chain = (
+                f"{decl.qualname} ({decl.module_rel}:"
+                f"{node.lineno}) writes self.{attr} on the event loop",
+                f"{thread_decl.qualname} ({thread_decl.module_rel}:"
+                f"{thread_write.node.lineno}) "      # type: ignore[attr-defined]
+                f"writes self.{attr} on a worker thread",
+            ) + _spawn_chain(analysis, _tfid)
+            findings.append(Finding(
+                rule=self.id, path=decl.module_rel, line=node.lineno,
+                col=node.col_offset, severity=self.severity, chain=chain,
+                message=(f"attribute '{class_name}.{attr}' is written from "
+                         f"event-loop code ('{decl.qualname}') and from "
+                         f"thread-reachable code "
+                         f"('{thread_decl.qualname}') without a common "
+                         "lock; guard both writes with one "
+                         "threading.Lock")))
+        return findings
+
+
+@register
+class A5AsyncioPrimitiveOffLoop(AsyncRule):
+    id = "A5"
+    title = "asyncio primitive touched from thread-reachable sync code"
+    rationale = ("asyncio locks/queues/events are not thread-safe; from a "
+                 "worker thread, signal the loop with "
+                 "loop.call_soon_threadsafe or run_coroutine_threadsafe.")
+
+    def collect(self, analysis: AsyncAnalysis) -> List[Finding]:
+        graph = analysis.graph
+        findings: List[Finding] = []
+        for fid in sorted(graph.functions):
+            decl = graph.functions[fid]
+            if decl.is_async or fid not in analysis.thread_side:
+                continue
+            for touch in graph.facts[fid].touches:
+                chain = (f"{decl.qualname} ({decl.module_rel}:"
+                         f"{touch.node.lineno}) touches "
+                         f"{touch.type_name} via '{touch.label}'",
+                         ) + _spawn_chain(analysis, fid)
+                findings.append(Finding(
+                    rule=self.id, path=decl.module_rel,
+                    line=touch.node.lineno, col=touch.node.col_offset,
+                    severity=self.severity, chain=chain,
+                    message=(f"'{decl.qualname}' runs on a worker thread "
+                             f"but touches {touch.type_name} "
+                             f"('{touch.label}'); asyncio primitives are "
+                             "not thread-safe — use "
+                             "loop.call_soon_threadsafe / "
+                             "run_coroutine_threadsafe")))
+        return findings

@@ -38,9 +38,7 @@ def load_baseline(path: Path) -> Dict[str, int]:
             for fingerprint, count in findings.items()}
 
 
-def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
-    """Persist the fingerprints of ``findings`` as the new baseline."""
-    counts = Counter(finding.fingerprint for finding in findings)
+def _write_counts(path: Path, counts: Dict[str, int]) -> None:
     payload = {
         "version": _FORMAT_VERSION,
         "comment": ("Acknowledged pre-existing simlint findings. "
@@ -49,6 +47,34 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
                      for fingerprint in sorted(counts)},
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Persist the fingerprints of ``findings`` as the new baseline."""
+    counts = Counter(finding.fingerprint for finding in findings)
+    _write_counts(path, dict(counts))
+
+
+def update_baseline(path: Path,
+                    findings: Sequence[Finding]) -> Dict[str, int]:
+    """Regenerate an existing baseline in place, conservatively.
+
+    The updated baseline is the *intersection* of the old baseline and the
+    current findings: stale entries (fixed findings) are pruned, counts are
+    lowered to what actually still occurs, and — crucially — findings not
+    already acknowledged are **never** added.  ``--update-baseline`` is
+    therefore always safe to run: it can only shrink the debt, unlike
+    ``--write-baseline`` which acknowledges everything.
+
+    Returns the counts that were written.
+    """
+    old = load_baseline(path)
+    current = Counter(finding.fingerprint for finding in findings)
+    updated = {fingerprint: min(count, current[fingerprint])
+               for fingerprint, count in old.items()
+               if current[fingerprint] > 0}
+    _write_counts(path, updated)
+    return updated
 
 
 @dataclass

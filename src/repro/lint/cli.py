@@ -15,8 +15,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional, TextIO
 
-from .baseline import apply_baseline, load_baseline, write_baseline
+from .baseline import (
+    apply_baseline,
+    load_baseline,
+    update_baseline,
+    write_baseline,
+)
 from .engine import LintEngine, LintError, all_rules, rule_catalog
+from .sarif import render_sarif
 
 #: Default committed baseline, resolved relative to the working directory
 #: (CI and developers both run from the repository root).
@@ -24,15 +30,17 @@ DEFAULT_BASELINE = ".simlint-baseline.json"
 
 #: Version of the ``--format json`` payload.  1 was the original (implicit,
 #: unversioned) shape; 2 added this field and fixed finding ordering to
-#: (path, line, rule) so payloads diff cleanly across runs.
-JSON_SCHEMA_VERSION = 2
+#: (path, line, rule) so payloads diff cleanly across runs; 3 added the
+#: optional per-finding ``chain`` call-trace emitted by the A-rules.
+JSON_SCHEMA_VERSION = 3
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach lint options to the ``repro lint`` subparser."""
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="output format (default: text)")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help="baseline file of acknowledged findings "
@@ -42,6 +50,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--write-baseline", action="store_true",
                         help="acknowledge all current findings in the "
                              "baseline file and exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="regenerate the baseline in place: prune "
+                             "stale entries and lower counts, without "
+                             "acknowledging anything new; exits 0")
     parser.add_argument("--strict-baseline", action="store_true",
                         help="also fail when baseline entries are stale "
                              "(fixed findings that should be pruned)")
@@ -80,6 +92,12 @@ def run_lint(args: argparse.Namespace,
             out.write(f"simlint: wrote {len(report.findings)} finding(s) "
                       f"to {baseline_path}\n")
             return 0
+        if args.update_baseline:
+            updated = update_baseline(baseline_path, report.findings)
+            out.write(f"simlint: baseline {baseline_path} regenerated "
+                      f"({sum(updated.values())} acknowledged occurrence(s) "
+                      f"across {len(updated)} fingerprint(s))\n")
+            return 0
         baseline = {} if args.no_baseline else load_baseline(baseline_path)
     except LintError as error:
         print(f"simlint: error: {error}", file=sys.stderr)
@@ -87,6 +105,11 @@ def run_lint(args: argparse.Namespace,
 
     split = apply_baseline(report.findings, baseline)
     failed = bool(split.new) or (args.strict_baseline and bool(split.stale))
+
+    if args.format == "sarif":
+        out.write(json.dumps(render_sarif(split.new, rule_catalog()),
+                             indent=2) + "\n")
+        return 1 if failed else 0
 
     if args.format == "json":
         out.write(json.dumps({

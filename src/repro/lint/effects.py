@@ -1,0 +1,218 @@
+"""Fixpoint effect inference over the project call graph.
+
+Four effect lattices (each just "absent < present") are propagated
+bottom-up over the condensation of the call graph:
+
+- ``blocking`` — the function may perform blocking I/O, sleep, wait on a
+  subprocess/queue, or acquire a threading lock;
+- ``spawns-thread`` / ``spawns-process`` — the function may start a
+  thread (or hand work to an executor) / a process;
+- ``nondet`` — the function may consult unseeded RNG or the wall clock
+  (the interprocedural generalization of rules D1/D3).
+
+Propagation is edge-kind aware: ``blocking`` and the spawn effects travel
+only over ordinary ``call`` edges — handing a blocking function to
+``run_in_executor`` or a ``Thread`` does **not** make the *caller*
+blocking (that is exactly the sanctioned A1 fix) — while ``nondet``
+travels over every edge kind, because a nondeterministic thread target
+still makes the spawning computation nondeterministic.
+
+Strongly connected components are found with an iterative Tarjan (no
+recursion-depth hazard on deep call chains) which conveniently emits
+SCCs in reverse topological order — callees before callers — so a single
+pass with a per-SCC inner fixpoint reaches the global fixpoint.  Mutual
+recursion therefore terminates trivially: each SCC's inner loop adds at
+most ``len(EFFECTS) * len(scc)`` facts before it stabilizes.
+
+Every inferred effect carries a :class:`Witness` — which call site
+introduced it and via which callee — so rules can render a full
+call-chain trace down to the concrete sink (`chain`), the evidence the
+A-rule findings attach for humans.  Witnesses are assigned
+first-wins over a deterministic (sorted-fid, source-order) iteration, so
+traces are stable run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import (
+    BLOCKING,
+    EDGE_CALL,
+    EFFECTS,
+    NONDET,
+    SPAWNS_PROCESS,
+    SPAWNS_THREAD,
+    CallGraph,
+)
+
+#: Which effects cross which edge kinds (absent kind -> nondet only).
+_CALL_EDGE_EFFECTS = frozenset(EFFECTS)
+_SPAWN_EDGE_EFFECTS = frozenset((NONDET,))
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Why a function has an effect: the introducing site and next hop."""
+
+    effect: str
+    path: str            # module rel of the witnessing call site
+    line: int
+    label: str           # rendered call expression at the site
+    sink: str            # the ultimate concrete sink description
+    via: Optional[str]   # callee fid carrying the effect; None = direct sink
+
+
+class EffectAnalysis:
+    """Queryable result of the fixpoint: ``has``, ``witness``, ``chain``."""
+
+    def __init__(self, graph: CallGraph,
+                 effects: Dict[str, Dict[str, Witness]]) -> None:
+        self.graph = graph
+        self._effects = effects
+
+    def has(self, fid: str, effect: str) -> bool:
+        return effect in self._effects.get(fid, {})
+
+    def witness(self, fid: str, effect: str) -> Optional[Witness]:
+        return self._effects.get(fid, {}).get(effect)
+
+    def sink(self, fid: str, effect: str) -> Optional[str]:
+        witness = self.witness(fid, effect)
+        return witness.sink if witness is not None else None
+
+    def chain(self, fid: str, effect: str) -> Tuple[str, ...]:
+        """Human-readable call chain from ``fid`` down to the sink.
+
+        Each step reads ``qualname (path:line) -> next``; the final step
+        names the concrete sink.  Cycles (mutual recursion) are cut at
+        the first revisit.
+        """
+        steps: List[str] = []
+        seen: Set[str] = set()
+        current: Optional[str] = fid
+        while current is not None and current not in seen:
+            seen.add(current)
+            witness = self.witness(current, effect)
+            decl = self.graph.functions.get(current)
+            if witness is None or decl is None:
+                break
+            if witness.via is None or witness.via in seen or \
+                    witness.via not in self.graph.functions:
+                steps.append(f"{decl.qualname} ({witness.path}:"
+                             f"{witness.line}) -> {witness.sink}")
+                break
+            nxt = self.graph.functions[witness.via]
+            steps.append(f"{decl.qualname} ({witness.path}:"
+                         f"{witness.line}) -> {nxt.qualname}")
+            current = witness.via
+        return tuple(steps)
+
+
+def _tarjan_sccs(graph: CallGraph) -> List[List[str]]:
+    """Iterative Tarjan; SCCs come out callees-first (reverse topological)."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    successors: Dict[str, List[str]] = {
+        fid: sorted({callee for callee, _kind in graph.successors(fid)
+                     if callee in graph.functions})
+        for fid in graph.functions}
+
+    for root in sorted(graph.functions):
+        if root in index_of:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = successors[node]
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index_of:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                scc: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def analyze_effects(graph: CallGraph) -> EffectAnalysis:
+    """Run the bottom-up fixpoint and return the queryable analysis."""
+    effects: Dict[str, Dict[str, Witness]] = {
+        fid: {} for fid in graph.functions}
+
+    def absorb(fid: str) -> bool:
+        """One transfer-function application; True if anything was added."""
+        changed = False
+        mine = effects[fid]
+        facts = graph.facts[fid]
+        for site in facts.sites:
+            for effect, sink in site.sinks:
+                if effect not in mine:
+                    mine[effect] = Witness(
+                        effect=effect, path=facts.decl.module_rel,
+                        line=site.line, label=site.label, sink=sink,
+                        via=None)
+                    changed = True
+            for callee in site.callees:
+                callee_effects = effects.get(callee)
+                if callee_effects is None:
+                    continue
+                for effect in EFFECTS:
+                    if effect in mine or effect not in callee_effects:
+                        continue
+                    mine[effect] = Witness(
+                        effect=effect, path=facts.decl.module_rel,
+                        line=site.line, label=site.label,
+                        sink=callee_effects[effect].sink, via=callee)
+                    changed = True
+            for target, _kind in site.spawned:
+                target_effects = effects.get(target)
+                if target_effects is None:
+                    continue
+                for effect in _SPAWN_EDGE_EFFECTS:
+                    if effect in mine or effect not in target_effects:
+                        continue
+                    mine[effect] = Witness(
+                        effect=effect, path=facts.decl.module_rel,
+                        line=site.line, label=site.label,
+                        sink=target_effects[effect].sink, via=target)
+                    changed = True
+        return changed
+
+    for scc in _tarjan_sccs(graph):
+        while True:
+            changed = False
+            for fid in scc:
+                if absorb(fid):
+                    changed = True
+            if not changed:
+                break
+    return EffectAnalysis(graph, effects)

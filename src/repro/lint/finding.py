@@ -23,7 +23,15 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``chain`` is an optional call-chain trace (outermost caller first, the
+    concrete sink last) attached by the interprocedural A-rules so a reader
+    can see *why* e.g. an ``async def`` is considered blocking.  It is
+    evidence, not identity: the fingerprint deliberately excludes it, the
+    same way it excludes line numbers, so refactors that reroute a chain
+    without fixing the effect neither hide nor duplicate baselined findings.
+    """
 
     rule: str
     path: str          # posix-style path relative to the lint root
@@ -31,6 +39,7 @@ class Finding:
     col: int           # 0-based, as reported by the ast module
     message: str
     severity: Severity = Severity.ERROR
+    chain: Tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -43,11 +52,14 @@ class Finding:
         return (self.path, self.line, self.rule, self.col)
 
     def render(self) -> str:
-        return (f"{self.path}:{self.line}:{self.col}: "
+        text = (f"{self.path}:{self.line}:{self.col}: "
                 f"{self.severity.value}: {self.message} [{self.rule}]")
+        for step in self.chain:
+            text += f"\n    {step}"
+        return text
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -55,3 +67,6 @@ class Finding:
             "message": self.message,
             "severity": self.severity.value,
         }
+        if self.chain:
+            payload["chain"] = list(self.chain)
+        return payload

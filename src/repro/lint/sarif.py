@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 rendering of a lint run.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests, so ``repro lint --format sarif`` lets CI surface
+findings as inline pull-request annotations without any glue code.
+
+The document shape follows the OASIS 2.1.0 specification:
+
+- one ``run`` whose ``tool.driver`` lists every registered rule (id,
+  short description, full rationale) so viewers can render rule help;
+- one ``result`` per *new* finding with ``ruleId``, ``level``
+  (``error``/``warning`` mapped straight from :class:`Severity`), a
+  text ``message`` and a ``physicalLocation`` region;
+- findings that carry a call-chain trace (the interprocedural A-rules)
+  additionally emit a ``codeFlows`` entry — one ``threadFlow`` location
+  per chain step — which GitHub renders as an expandable path.
+
+Only *new* (non-baselined) findings become results: the SARIF document
+answers "what should block this PR", exactly like the exit code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Type
+
+from .engine import Rule
+from .finding import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_TOOL_NAME = "simlint"
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_descriptor(rule_class: Type[Rule]) -> Dict[str, Any]:
+    return {
+        "id": rule_class.id,
+        "name": rule_class.__name__,
+        "shortDescription": {"text": rule_class.title},
+        "fullDescription": {"text": rule_class.rationale},
+        "defaultConfiguration": {"level": _level(rule_class.severity)},
+    }
+
+
+def _location(finding: Finding) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.path},
+            "region": {
+                "startLine": finding.line,
+                # SARIF columns are 1-based; ast columns are 0-based.
+                "startColumn": finding.col + 1,
+            },
+        },
+    }
+
+
+def _code_flow(finding: Finding) -> Dict[str, Any]:
+    locations: List[Dict[str, Any]] = []
+    for step in finding.chain:
+        locations.append({
+            "location": {
+                **_location(finding),
+                "message": {"text": step},
+            },
+        })
+    return {"threadFlows": [{"locations": locations}]}
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [_location(finding)],
+    }
+    if finding.chain:
+        result["codeFlows"] = [_code_flow(finding)]
+    return result
+
+
+def render_sarif(findings: Sequence[Finding],
+                 rule_classes: Sequence[Type[Rule]]) -> Dict[str, Any]:
+    """The complete SARIF document for one lint run, as plain dicts."""
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri":
+                            "https://example.invalid/simlint",
+                        "rules": [_rule_descriptor(rule_class)
+                                  for rule_class in rule_classes],
+                    },
+                },
+                "results": [_result(finding) for finding in findings],
+            },
+        ],
+    }

@@ -285,27 +285,31 @@ class ServiceServer:
 
     async def _route(self, method: str, target: str, body: bytes
                      ) -> Tuple[int, Dict[str, Any]]:
+        # Every store/journal touch reads (and sometimes heals, i.e.
+        # writes) disk, so each one runs off the loop: a slow disk must
+        # never stall health checks for every connected client (simlint A1
+        # enforces this transitively).
+        loop = asyncio.get_running_loop()
         if target == "/health" and method == "GET":
-            stats = self.service.stats()
+            stats = await loop.run_in_executor(None, self.service.stats)
             stats["status"] = "ok"
             return 200, stats
         if target.startswith("/result/") and method == "GET":
             key = target[len("/result/"):]
-            payload = self.service.store.get(key)
+            payload = await loop.run_in_executor(
+                None, self.service.store.get, key)
             if payload is None:
                 return 404, {"error": f"no result for key {key!r}"}
             return 200, {"key": key, "result": payload}
         if target == "/submit" and method == "POST":
             specs = _parse_jobs(body)
-            jobs = [{"key": spec.key,
-                     "cached": self.service.lookup(spec) is not None}
-                    for spec in specs]
+            jobs = await loop.run_in_executor(None, self._dry_lookup,
+                                              specs)
             return 200, {"jobs": jobs}
         if target == "/run" and method == "POST":
             specs = _parse_jobs(body)
             assert self._batch_lock is not None
             async with self._batch_lock:     # the pool is single-batch
-                loop = asyncio.get_running_loop()
                 batch = await loop.run_in_executor(
                     None, self.service.execute, specs)
             payload = batch.to_dict()
@@ -315,6 +319,17 @@ class ServiceServer:
                 target.startswith("/result/"):
             return 405, {"error": f"{method} not allowed on {target}"}
         return 404, {"error": f"unknown route {target}"}
+
+    def _dry_lookup(self, specs: Sequence[JobSpec]
+                    ) -> List[Dict[str, Any]]:
+        """The /submit answer: store/journal lookups only, no scheduling.
+
+        Runs on a worker thread — :meth:`SimulationService.lookup` reads
+        the store and may heal it from the journal, both disk operations.
+        """
+        return [{"key": spec.key,
+                 "cached": self.service.lookup(spec) is not None}
+                for spec in specs]
 
 
 def _parse_jobs(body: bytes) -> List[JobSpec]:

@@ -1,0 +1,17 @@
+"""A1 drill (fixed): blocking work is off-loaded, the loop never stalls."""
+
+import asyncio
+
+from storage import Store
+
+
+class Handler:
+    def __init__(self, store: Store) -> None:
+        self.store = store
+
+    async def handle(self, key: str) -> bytes:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.store.fetch, key)
+
+    async def throttle(self) -> None:
+        await asyncio.sleep(0.5)

@@ -1,0 +1,7 @@
+"""A1 drill, suppressed: the pragma acknowledges a known-blocking call."""
+
+import time
+
+
+async def startup_probe() -> None:
+    time.sleep(0.01)  # simlint: disable=A1

@@ -1,0 +1,21 @@
+"""A1 drill, async side: handlers that reach blocking calls.
+
+``handle`` blocks *transitively* (through Store.fetch, defined in a
+different module — only the call graph can see it); ``throttle`` blocks
+*directly* via time.sleep.
+"""
+
+import time
+
+from storage import Store
+
+
+class Handler:
+    def __init__(self, store: Store) -> None:
+        self.store = store
+
+    async def handle(self, key: str) -> bytes:
+        return self.store.fetch(key)
+
+    async def throttle(self) -> None:
+        time.sleep(0.5)

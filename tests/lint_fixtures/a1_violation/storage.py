@@ -1,0 +1,11 @@
+"""A1 drill, blocking side: a store whose fetch reads disk."""
+
+from pathlib import Path
+
+
+class Store:
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def fetch(self, key: str) -> bytes:
+        return (self.root / key).read_bytes()

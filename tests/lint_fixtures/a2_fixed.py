@@ -1,0 +1,19 @@
+"""A2 drill (fixed): every coroutine is awaited, scheduled, or returned."""
+
+import asyncio
+
+
+async def refresh() -> None:
+    await asyncio.sleep(0)
+
+
+async def main() -> None:
+    await refresh()
+    task = asyncio.create_task(refresh())
+    await asyncio.gather(refresh(), task)
+    held = refresh()
+    await held
+
+
+def entry() -> None:
+    asyncio.run(main())

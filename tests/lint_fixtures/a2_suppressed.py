@@ -1,0 +1,12 @@
+"""A2 drill, suppressed: a deliberately fire-and-forgotten coroutine."""
+
+import asyncio
+
+
+async def refresh() -> None:
+    await asyncio.sleep(0)
+
+
+async def main() -> None:
+    refresh()  # simlint: disable=A2
+    await asyncio.sleep(0)

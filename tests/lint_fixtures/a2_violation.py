@@ -1,0 +1,13 @@
+"""A2 drill: coroutines created but never awaited or scheduled."""
+
+import asyncio
+
+
+async def refresh() -> None:
+    await asyncio.sleep(0)
+
+
+async def main() -> None:
+    refresh()                 # discarded outright: the body never runs
+    pending = refresh()       # bound, then forgotten
+    await asyncio.sleep(0)

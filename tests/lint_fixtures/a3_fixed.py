@@ -1,0 +1,24 @@
+"""A3 drill (fixed): coroutines coordinate with asyncio.Lock, and any
+threading.Lock critical section contains no suspension point."""
+
+import asyncio
+import threading
+
+
+class Shared:
+    def __init__(self) -> None:
+        self.lock = asyncio.Lock()
+        self.sync_lock = threading.Lock()
+        self.value = 0
+
+    async def update(self) -> None:
+        async with self.lock:
+            await asyncio.sleep(0)
+            self.value += 1
+
+    def bump(self) -> None:
+        with self.sync_lock:
+            self.value += 1
+
+    def snapshot(self) -> int:
+        return self.value

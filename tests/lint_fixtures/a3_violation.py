@@ -1,0 +1,24 @@
+"""A3 drill: awaiting while a threading.Lock is held."""
+
+import asyncio
+import threading
+
+
+class Shared:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.value = 0
+
+    async def update(self) -> None:
+        with self.lock:
+            await asyncio.sleep(0)
+            self.value += 1
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+async def local_variant() -> None:
+    guard = threading.Lock()
+    with guard:
+        await asyncio.sleep(0)

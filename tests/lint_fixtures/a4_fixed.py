@@ -1,0 +1,22 @@
+"""A4 drill (fixed): both writers take the same threading.Lock."""
+
+import threading
+
+
+class Monitor:
+    def __init__(self) -> None:
+        self.beats = 0
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._heartbeat)
+        self._thread.start()
+
+    def _heartbeat(self) -> None:
+        with self._lock:
+            self.beats += 1
+
+    async def reset(self) -> None:
+        with self._lock:
+            self.beats = 0
+
+    def snapshot(self) -> int:
+        return self.beats

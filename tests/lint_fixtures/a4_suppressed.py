@@ -1,0 +1,19 @@
+"""A4 drill, suppressed: the loop-side write acknowledges the race."""
+
+import threading
+
+
+class Monitor:
+    def __init__(self) -> None:
+        self.beats = 0
+        self._thread = threading.Thread(target=self._heartbeat)
+        self._thread.start()
+
+    def _heartbeat(self) -> None:
+        self.beats += 1
+
+    async def reset(self) -> None:
+        self.beats = 0  # simlint: disable=A4
+
+    def snapshot(self) -> int:
+        return self.beats

@@ -1,0 +1,20 @@
+"""A4 drill: one attribute, written from the event loop and from a
+heartbeat thread, with no common lock."""
+
+import threading
+
+
+class Monitor:
+    def __init__(self) -> None:
+        self.beats = 0
+        self._thread = threading.Thread(target=self._heartbeat)
+        self._thread.start()
+
+    def _heartbeat(self) -> None:
+        self.beats += 1
+
+    async def reset(self) -> None:
+        self.beats = 0
+
+    def snapshot(self) -> int:
+        return self.beats

@@ -1,0 +1,22 @@
+"""A5 drill (fixed): the thread side uses a thread-safe queue.Queue; the
+event loop drains it — asyncio primitives never leave the loop."""
+
+import asyncio
+import queue
+import threading
+
+
+class Bridge:
+    def __init__(self) -> None:
+        self.queue = queue.Queue()
+        self._thread = threading.Thread(target=self.feed)
+
+    def feed(self) -> None:
+        self.queue.put_nowait(1)
+
+    async def drain(self) -> None:
+        while True:
+            item = self.queue.get_nowait()
+            if item is None:
+                break
+            await asyncio.sleep(0)

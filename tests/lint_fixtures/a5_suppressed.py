@@ -1,0 +1,13 @@
+"""A5 drill, suppressed: a put_nowait the author claims is loop-adjacent."""
+
+import asyncio
+import threading
+
+
+class Bridge:
+    def __init__(self) -> None:
+        self.queue = asyncio.Queue()
+        self._thread = threading.Thread(target=self.feed)
+
+    def feed(self) -> None:
+        self.queue.put_nowait(1)  # simlint: disable=A5

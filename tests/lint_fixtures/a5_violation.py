@@ -1,0 +1,21 @@
+"""A5 drill: asyncio primitives touched from thread-reachable sync code."""
+
+import asyncio
+import threading
+
+
+class Bridge:
+    def __init__(self) -> None:
+        self.queue = asyncio.Queue()
+        self.ready = asyncio.Event()
+        self._thread = threading.Thread(target=self.feed)
+
+    def feed(self) -> None:
+        self.queue.put_nowait(1)
+
+    def poke(self) -> None:
+        self.ready.set()
+
+    async def kick(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.poke)

@@ -1,0 +1,34 @@
+"""Call-graph fixture: methods, closures, aliased imports, self dispatch."""
+
+from util import jitter, slow_write as persist
+
+
+class Sink:
+    def emit(self, text: str) -> None:
+        persist(text)
+
+
+class Engine:
+    def __init__(self, sink: Sink) -> None:
+        self.sink = sink
+        self.ticks = 0
+
+    def run(self) -> None:
+        def flush() -> None:
+            self.sink.emit("tick")
+
+        self.ticks += 1
+        flush()
+
+    def pace(self) -> None:
+        jitter()
+
+    def ping(self) -> None:
+        self.tock()
+
+    def tock(self) -> None:
+        self.ticks += 1
+
+
+def ping_all(engine: Engine) -> None:
+    engine.ping()

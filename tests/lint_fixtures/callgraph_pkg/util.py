@@ -1,0 +1,17 @@
+"""Call-graph fixture: stdlib effects behind module and member aliases."""
+
+import time as clock
+
+
+def slow_write(text: str) -> None:
+    with open("journal.log", "a", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def jitter() -> None:
+    clock.sleep(0.01)
+
+
+def entropy() -> float:
+    import random
+    return random.random()

@@ -95,6 +95,28 @@ class TestDiffStores:
         assert "extra in chaos store" in diff
 
 
+class TestFaultFreeByteIdentity:
+    def test_two_fault_free_runs_are_byte_identical(self, tmp_path):
+        """Regression guard for the service refactors: two independent
+        fault-free sweeps over the same specs must produce byte-identical
+        stores.  Any nondeterminism smuggled into the execution path (e.g.
+        by the executor offloading in the HTTP layer) shows up here as a
+        byte-level diff."""
+        from repro.service.server import SimulationService
+        from repro.service.supervisor import PoolConfig
+
+        stores = []
+        for name in ("left", "right"):
+            root = tmp_path / name
+            with SimulationService(
+                    root / "store", checkpoint_dir=root / "checkpoint",
+                    pool_config=PoolConfig(workers=2, seed=7)) as service:
+                batch = service.execute(_specs())
+            assert batch.ok
+            stores.append(ResultStore(root / "store"))
+        assert diff_stores(stores[0], stores[1]) == []
+
+
 class TestRunChaos:
     def test_empty_specs_rejected(self, tmp_path):
         with pytest.raises(ChaosError, match="at least one"):

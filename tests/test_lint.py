@@ -21,13 +21,15 @@ from repro.lint import (
     all_rules,
     apply_baseline,
     load_baseline,
+    update_baseline,
     write_baseline,
 )
 
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-EXPECTED_RULES = {"C1", "C2", "C3", "C4", "C5", "D1", "D2", "D3",
+EXPECTED_RULES = {"A1", "A2", "A3", "A4", "A5",
+                  "C1", "C2", "C3", "C4", "C5", "D1", "D2", "D3",
                   "F1", "F2", "F3", "F4", "X1", "X2", "X3"}
 
 
@@ -279,6 +281,23 @@ class TestBaseline:
         assert {f.rule for f in split.new} == {"C3", "D1"}
         assert split.stale == ["D9::gone.py::fixed long ago"]
 
+    def test_update_baseline_intersects(self, tmp_path):
+        """Regeneration only shrinks: stale counts drop to the observed
+        count, and findings absent from the old baseline stay new."""
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.FINDING, self.FINDING])     # count 2
+        unacknowledged = Finding(rule="D1", path="mod.py", line=1, col=0,
+                                 message="unseeded")
+        counts = update_baseline(path, [self.FINDING, unacknowledged])
+        assert counts == {self.FINDING.fingerprint: 1}
+        assert load_baseline(path) == {self.FINDING.fingerprint: 1}
+
+    def test_update_baseline_prunes_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.FINDING])
+        assert update_baseline(path, []) == {}
+        assert load_baseline(path) == {}
+
 
 class TestCli:
     def test_violation_exits_nonzero(self, capsys):
@@ -297,7 +316,7 @@ class TestCli:
                          "--no-baseline", "--format", "json"])
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert payload["files_checked"] == 1
         assert {f["rule"] for f in payload["findings"]} == {"D1"}
 
@@ -309,6 +328,29 @@ class TestCli:
                          str(baseline)]) == 0
         assert cli_main(["lint", violation, "--ignore-scope",
                          "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_update_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        violation = str(FIXTURES / "c3_violation.py")
+        clean = str(FIXTURES / "c3_fixed.py")
+        assert cli_main(["lint", violation, "--ignore-scope",
+                         "--write-baseline", "--baseline",
+                         str(baseline)]) == 0
+        assert load_baseline(baseline)
+        # Regenerating against a clean tree prunes every entry...
+        assert cli_main(["lint", clean, "--ignore-scope",
+                         "--update-baseline", "--baseline",
+                         str(baseline)]) == 0
+        assert load_baseline(baseline) == {}
+        # ...and, unlike --write-baseline, never acknowledges new findings:
+        # the regenerated (empty) baseline still fails the violating file.
+        assert cli_main(["lint", violation, "--ignore-scope",
+                         "--update-baseline", "--baseline",
+                         str(baseline)]) == 0
+        assert load_baseline(baseline) == {}
+        assert cli_main(["lint", violation, "--ignore-scope",
+                         "--baseline", str(baseline)]) == 1
         capsys.readouterr()
 
     def test_stale_baseline_strict(self, tmp_path, capsys):

@@ -1,0 +1,253 @@
+"""Tests for SARIF 2.1.0 output (``repro lint --format sarif``).
+
+The rendered document is validated against an embedded subset of the
+official OASIS SARIF 2.1.0 schema — the subset pins every property this
+repo's CI integration relies on (tool.driver rule metadata, result
+locations/levels, codeFlows for the interprocedural A-rules) with
+``additionalProperties`` left open exactly as the real schema does.
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+
+from repro.cli import main as cli_main
+from repro.lint import Finding, LintEngine, Severity, all_rules
+from repro.lint.engine import rule_catalog
+from repro.lint.sarif import SARIF_SCHEMA_URI, render_sarif
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+#: Subset of the OASIS SARIF 2.1.0 schema: everything simlint emits, with
+#: the same required/optional split the full schema mandates for these
+#: properties.
+SARIF_SUBSET_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {"type": "string",
+                                                       "format": "uri"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "fullDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {"enum": ["none", "note",
+                                                   "warning", "error"]},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type":
+                                                                "string"},
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum":
+                                                                1},
+                                                            "startColumn": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum":
+                                                                1},
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                                "codeFlows": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["threadFlows"],
+                                        "properties": {
+                                            "threadFlows": {
+                                                "type": "array",
+                                                "minItems": 1,
+                                                "items": {
+                                                    "type": "object",
+                                                    "required":
+                                                        ["locations"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def lint_findings(*names):
+    engine = LintEngine(root=FIXTURES, rules=all_rules(), ignore_scope=True)
+    report = engine.run([FIXTURES / name for name in names])
+    return report.findings
+
+
+def validate(document):
+    jsonschema.validate(document, SARIF_SUBSET_SCHEMA,
+                        format_checker=jsonschema.FormatChecker())
+
+
+class TestRenderSarif:
+    def test_validates_against_sarif_subset_schema(self):
+        document = render_sarif(lint_findings("a1_violation",
+                                              "c3_violation.py"),
+                                rule_catalog())
+        validate(document)
+        assert document["$schema"] == SARIF_SCHEMA_URI
+
+    def test_empty_run_validates(self):
+        document = render_sarif([], rule_catalog())
+        validate(document)
+        assert document["runs"][0]["results"] == []
+
+    def test_driver_lists_every_registered_rule(self):
+        document = render_sarif([], rule_catalog())
+        listed = {rule["id"]
+                  for rule in document["runs"][0]["tool"]["driver"]["rules"]}
+        assert listed == {rule.id for rule in rule_catalog()}
+        assert "A1" in listed
+
+    def test_severity_maps_to_level(self):
+        findings = [
+            Finding(rule="C3", path="m.py", line=1, col=0, message="x",
+                    severity=Severity.ERROR),
+            Finding(rule="D3", path="m.py", line=2, col=0, message="y",
+                    severity=Severity.WARNING),
+        ]
+        results = render_sarif(findings, rule_catalog())["runs"][0]["results"]
+        assert [r["level"] for r in results] == ["error", "warning"]
+
+    def test_region_columns_are_one_based(self):
+        finding = Finding(rule="C3", path="m.py", line=3, col=0,
+                          message="x")
+        result = render_sarif([finding],
+                              rule_catalog())["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 3, "startColumn": 1}
+
+    def test_chain_becomes_code_flow(self):
+        findings = [f for f in lint_findings("a1_violation")
+                    if f.rule == "A1" and f.chain]
+        assert findings
+        document = render_sarif(findings, rule_catalog())
+        validate(document)
+        result = document["runs"][0]["results"][0]
+        steps = [loc["location"]["message"]["text"]
+                 for loc in result["codeFlows"][0]["threadFlows"][0]
+                 ["locations"]]
+        assert steps == list(findings[0].chain)
+
+    def test_chainless_finding_has_no_code_flow(self):
+        finding = Finding(rule="C3", path="m.py", line=1, col=0,
+                          message="x")
+        result = render_sarif([finding],
+                              rule_catalog())["runs"][0]["results"][0]
+        assert "codeFlows" not in result
+
+
+class TestCliSarif:
+    def test_violation_emits_sarif_and_exits_one(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "a1_violation"),
+                         "--no-baseline", "--ignore-scope",
+                         "--format", "sarif"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        validate(document)
+        results = document["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"A1"}
+        assert any("codeFlows" in r for r in results)
+
+    def test_clean_tree_emits_empty_results_and_exits_zero(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "c3_fixed.py"),
+                         "--no-baseline", "--format", "sarif"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        validate(document)
+        assert document["runs"][0]["results"] == []
+
+    def test_baselined_findings_are_not_results(self, tmp_path, capsys):
+        """SARIF answers "what should block this PR": acknowledged
+        findings stay out of the document, matching the exit code."""
+        baseline = tmp_path / "baseline.json"
+        violation = str(FIXTURES / "c3_violation.py")
+        assert cli_main(["lint", violation, "--ignore-scope",
+                         "--write-baseline", "--baseline",
+                         str(baseline)]) == 0
+        capsys.readouterr()
+        code = cli_main(["lint", violation, "--ignore-scope",
+                         "--baseline", str(baseline),
+                         "--format", "sarif"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        validate(document)
+        assert document["runs"][0]["results"] == []
