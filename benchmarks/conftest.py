@@ -24,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench import timed
 from repro.common.errors import ReproWarning
 from repro.core.experiment import (
     CAPACITY_SWEEP,
@@ -54,8 +55,12 @@ _sweep_cache = {}
 
 
 def _cached(key, builder):
+    # Timed via the shared bench utilities (repro.bench.timing) so sweep
+    # build cost shows up next to the figures it feeds.
     if key not in _sweep_cache:
-        _sweep_cache[key] = builder()
+        _sweep_cache[key], seconds = timed(builder)
+        print(f"\n[sweep {key}: built in {seconds:.1f}s, "
+              f"{BENCH_INSTRUCTIONS} instructions/workload]")
     return _sweep_cache[key]
 
 

@@ -28,7 +28,11 @@ from typing import Deque, Optional
 
 from ..caches.hierarchy import MemoryHierarchy
 from ..common.config import CoreConfig
-from ..isa.uop import Uop, UopKind
+from ..isa.uop import _EXEC_LATENCY, Uop, UopKind
+
+#: Static latency applied to a LOAD whose record carries no data address
+#: (mirrors ``admit()`` falling back to ``uop.exec_latency``).
+_LOAD_STATIC_LATENCY = _EXEC_LATENCY[UopKind.LOAD]
 
 
 @dataclass(frozen=True)
@@ -82,6 +86,10 @@ class OutOfOrderBackend:
         # Ring buffers of past timestamps for occupancy constraints.
         self._dispatch_ring: Deque[int] = deque(maxlen=cfg.uop_queue_entries)
         self._retire_ring: Deque[int] = deque(maxlen=cfg.rob_entries)
+        # Sticky "ring at capacity" flags: the rings only ever grow, so once
+        # full they stay full and admit_inst() can skip the len() probes.
+        self._queue_full = False
+        self._rob_full = False
         self._last_retire = 0
         self.uops_retired = 0
         self.last_cycle = 0
@@ -119,6 +127,100 @@ class OutOfOrderBackend:
         self.last_cycle = max(self.last_cycle, retire)
         return UopTiming(enqueue=enqueue, dispatch=dispatch,
                          complete=complete, retire=retire)
+
+    def admit_inst(self, latencies: "tuple[int, ...]", arrival: int,
+                   mem_addr: Optional[int] = None) -> int:
+        """Admit one instruction's uops arriving together at ``arrival``.
+
+        Bit-identical to calling :meth:`admit` once per uop, minus the
+        per-uop :class:`UopTiming` allocations (the fast serve loop only
+        needs the branch-resolution point).  ``latencies`` holds each uop's
+        static execution latency with loads encoded as ``-1``; loads resolve
+        through the data hierarchy under exactly the conditions admit()
+        uses.  Returns the completion cycle of the instruction's last uop
+        (``arrival`` when ``latencies`` is empty, matching the serve loops'
+        ``timing is None`` fallback).
+        """
+        cfg = self.config
+        queue_entries = cfg.uop_queue_entries
+        rob_entries = cfg.rob_entries
+        dispatch_ring = self._dispatch_ring
+        retire_ring = self._retire_ring
+        hierarchy = self.hierarchy
+        last_retire = self._last_retire
+        complete = arrival
+        # Width-limiter state inlined for the duration of the call (nothing
+        # else touches the limiters between uops; _WidthLimiter.place is the
+        # single hottest call in the normal path).
+        dlim = self._dispatch
+        d_width = dlim.width
+        d_cycle = dlim.cycle
+        d_used = dlim.used
+        d_busy = dlim.busy_cycles
+        rlim = self._retire
+        r_width = rlim.width
+        r_cycle = rlim.cycle
+        r_used = rlim.used
+        r_busy = rlim.busy_cycles
+        d_full = self._queue_full or len(dispatch_ring) == queue_entries
+        r_full = self._rob_full or len(retire_ring) == rob_entries
+        for latency in latencies:
+            enqueue = arrival
+            if d_full and dispatch_ring[0] > enqueue:
+                enqueue = dispatch_ring[0]
+            earliest_dispatch = enqueue + 1
+            if r_full and retire_ring[0] > earliest_dispatch:
+                earliest_dispatch = retire_ring[0]
+            if earliest_dispatch > d_cycle:
+                d_cycle = earliest_dispatch
+                d_used = 1
+                d_busy += 1
+            elif d_used < d_width:
+                d_used += 1
+            else:
+                d_cycle += 1
+                d_used = 1
+                d_busy += 1
+            dispatch_ring.append(d_cycle)
+            if not d_full:
+                d_full = len(dispatch_ring) == queue_entries
+            if latency < 0:
+                latency = hierarchy.access_data_fast(mem_addr) \
+                    if mem_addr is not None and hierarchy is not None \
+                    else _LOAD_STATIC_LATENCY
+            complete = d_cycle + latency
+            earliest_retire = complete + 1
+            if last_retire > earliest_retire:
+                earliest_retire = last_retire
+            if earliest_retire > r_cycle:
+                r_cycle = earliest_retire
+                r_used = 1
+                r_busy += 1
+                last_retire = r_cycle
+            elif r_used < r_width:
+                r_used += 1
+                last_retire = r_cycle
+            else:
+                r_cycle += 1
+                r_used = 1
+                r_busy += 1
+                last_retire = r_cycle
+            retire_ring.append(last_retire)
+            if not r_full:
+                r_full = len(retire_ring) == rob_entries
+        self._queue_full = d_full
+        self._rob_full = r_full
+        dlim.cycle = d_cycle
+        dlim.used = d_used
+        dlim.busy_cycles = d_busy
+        rlim.cycle = r_cycle
+        rlim.used = r_used
+        rlim.busy_cycles = r_busy
+        self._last_retire = last_retire
+        self.uops_retired += len(latencies)
+        if last_retire > self.last_cycle:
+            self.last_cycle = last_retire
+        return complete
 
     @property
     def busy_dispatch_cycles(self) -> int:

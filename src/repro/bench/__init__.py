@@ -1,0 +1,41 @@
+"""Performance benchmark: wall-clock baselines for the simulator itself.
+
+The figure benches (``benchmarks/``) reproduce the *paper's* numbers; this
+package measures the *simulator's* throughput (simulated instructions and
+cycles per wall-clock second) for every uop cache design, in both the normal
+serve loop and the counters-only fast mode, with warmup runs and
+repeat-and-take-median discipline.  Reports are schema-versioned JSON
+(``BENCH_<n>.json`` at the repo root) so a later change can be compared
+against a committed baseline (``repro bench --compare``).
+"""
+
+from .harness import (
+    SCHEMA_VERSION,
+    SUITES,
+    BenchError,
+    CompareResult,
+    SuiteParams,
+    compare_reports,
+    render_compare,
+    render_report,
+    run_report,
+    run_suite,
+)
+from .timing import Measurement, measure, median, timed
+
+__all__ = [
+    "BenchError",
+    "CompareResult",
+    "Measurement",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "SuiteParams",
+    "compare_reports",
+    "measure",
+    "median",
+    "render_compare",
+    "render_report",
+    "run_report",
+    "run_suite",
+    "timed",
+]

@@ -1,0 +1,123 @@
+"""``repro bench`` — simulator performance baseline and regression gate.
+
+Measure::
+
+    repro bench                      # full + smoke suites -> BENCH_8.json
+    repro bench --smoke              # smoke suite only (CI-sized)
+
+Compare against a committed baseline::
+
+    repro bench --smoke --compare BENCH_8.json --threshold 0 --min-speedup 1.3
+
+Exit codes: 0 ok, 1 regression (counter mismatch, wall-clock regression past
+``--threshold``, or speedup below ``--min-speedup``), 2 usage/config errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import List
+
+from ..core.experiment import DEFAULT_SEED, POLICY_LABELS
+from .harness import (
+    SUITES,
+    BenchError,
+    compare_reports,
+    render_compare,
+    render_report,
+    run_report,
+)
+
+#: Default report path; the number tracks the PR that (re)generated it.
+DEFAULT_REPORT = "BENCH_8.json"
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the small smoke suite "
+                             "(default: full + smoke)")
+    parser.add_argument("--designs", default="",
+                        help="comma-separated design subset "
+                             f"(default: {','.join(POLICY_LABELS)})")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override timed repetitions per measurement")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="override per-suite trace length")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"trace seed (default: {DEFAULT_SEED})")
+    parser.add_argument("--out", default=None,
+                        help="write the report here (default: "
+                             f"{DEFAULT_REPORT}; '-' prints JSON to stdout "
+                             "without writing)")
+    parser.add_argument("--compare", default=None, metavar="BASELINE.json",
+                        help="diff this run against a baseline report; "
+                             "nothing is written unless --out is given")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max fractional wall-clock regression before "
+                             "--compare fails (0 disables the timing gate; "
+                             "default: 0.25)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="minimum fast/normal speedup --compare "
+                             "requires (0 disables; machine-independent, "
+                             "so CI-safe)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-design progress lines")
+
+
+def _parse_designs(value: str) -> List[str]:
+    if not value:
+        return list(POLICY_LABELS)
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    for name in names:
+        if name not in POLICY_LABELS:
+            raise BenchError(f"unknown design {name!r}; "
+                             f"known: {', '.join(POLICY_LABELS)}")
+    return names
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    suite_names = ["smoke"] if args.smoke else ["full", "smoke"]
+    suites = []
+    for name in suite_names:
+        params = replace(SUITES[name], seed=args.seed)
+        if args.repeats is not None:
+            params = replace(params, repeats=args.repeats)
+        if args.instructions is not None:
+            params = replace(params, instructions=args.instructions)
+        suites.append(params)
+
+    progress = None if args.quiet else \
+        (lambda line: print("  " + line, file=sys.stderr))
+    report = run_report(suites, _parse_designs(args.designs), progress)
+
+    if args.compare is not None:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise BenchError(
+                f"cannot read baseline {args.compare}: {error}") from error
+        result = compare_reports(report, baseline,
+                                 threshold=args.threshold,
+                                 min_speedup=args.min_speedup)
+        print(render_compare(result))
+        if args.out is not None:
+            _write(report, args.out)
+        return 0 if result.ok else 1
+
+    _write(report, args.out if args.out is not None else DEFAULT_REPORT)
+    print(render_report(report))
+    return 0
+
+
+def _write(report: dict, out: str) -> None:
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if out == "-":
+        sys.stdout.write(text)
+        return
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {out}", file=sys.stderr)

@@ -1,0 +1,269 @@
+"""Benchmark suite runner, report schema and baseline comparison.
+
+A *report* is one JSON document (``BENCH_<n>.json``) holding one or more
+*suites* (``full``, ``smoke``) so a CI smoke run can compare like-for-like
+against the committed baseline's smoke section.  Per design the report
+records the deterministic simulation counters (instructions, cycles, uops —
+exact-equality gated on compare) and the wall-clock medians of the normal
+and fast serve loops, from which instructions/sec, cycles/sec and the
+fast-over-normal speedup derive.
+
+Nothing host- or time-of-day-dependent goes into the report: wall-clock
+medians are the only machine-varying fields, and the compare gates treat
+them separately (ratio threshold, disable-able) from the counters (exact,
+always on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import ReproError
+from ..core.experiment import DEFAULT_SEED, POLICY_LABELS, policy_config
+from ..core.simulator import Simulator
+from ..workloads.suite import get_workload
+from .timing import measure
+
+#: Bump when the report layout changes incompatibly; compare refuses to
+#: diff reports with mismatched versions.
+SCHEMA_VERSION = 1
+
+
+class BenchError(ReproError):
+    """A benchmark run or comparison failed structurally."""
+
+
+@dataclass(frozen=True)
+class SuiteParams:
+    """Everything that determines a suite's simulated work (not its timing)."""
+
+    name: str
+    instructions: int
+    repeats: int
+    warmup_runs: int = 1
+    workload: str = "bm-x64"
+    capacity_uops: int = 2048
+    max_entries_per_line: int = 2
+    seed: int = DEFAULT_SEED
+
+
+#: The two standard suites.  ``full`` is the committed baseline's headline
+#: measurement; ``smoke`` is small enough for a CI gate (a few seconds).
+SUITES: Dict[str, SuiteParams] = {
+    "full": SuiteParams(name="full", instructions=30_000, repeats=5),
+    "smoke": SuiteParams(name="smoke", instructions=5_000, repeats=3),
+}
+
+#: Identity fields that must match for two suites to be comparable.
+_IDENTITY_FIELDS = ("instructions", "workload", "capacity_uops",
+                    "max_entries_per_line", "seed")
+
+#: Deterministic counters gated by exact equality on compare.
+_COUNTER_FIELDS = ("sim_instructions", "sim_cycles", "sim_uops")
+
+
+def run_suite(params: SuiteParams,
+              designs: Sequence[str] = POLICY_LABELS,
+              progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run one suite and return its report section (JSON-ready)."""
+    for design in designs:
+        if design not in POLICY_LABELS:
+            raise BenchError(f"unknown design {design!r}; "
+                             f"known: {', '.join(POLICY_LABELS)}")
+    trace = get_workload(params.workload, seed=params.seed).trace(
+        params.instructions, seed=params.seed)
+    suite: Dict = {
+        "instructions": params.instructions,
+        "repeats": params.repeats,
+        "warmup_runs": params.warmup_runs,
+        "workload": params.workload,
+        "capacity_uops": params.capacity_uops,
+        "max_entries_per_line": params.max_entries_per_line,
+        "seed": params.seed,
+        "designs": {},
+    }
+    for design in designs:
+        normal_cfg = policy_config(design, params.capacity_uops,
+                                   params.max_entries_per_line)
+        fast_cfg = normal_cfg.with_fast_mode()
+
+        # Equivalence first: the timing numbers mean nothing if the two
+        # loops simulate different machines.
+        normal_result = Simulator(trace, normal_cfg, design).run()
+        fast_result = Simulator(trace, fast_cfg, design).run()
+        counters_equal = normal_result.to_dict() == fast_result.to_dict()
+
+        normal = measure(lambda: Simulator(trace, normal_cfg, design).run(),
+                         repeats=params.repeats,
+                         warmup_runs=params.warmup_runs)
+        fast = measure(lambda: Simulator(trace, fast_cfg, design).run(),
+                       repeats=params.repeats,
+                       warmup_runs=params.warmup_runs)
+
+        n_med = normal.median_seconds
+        f_med = fast.median_seconds
+        suite["designs"][design] = {
+            "sim_instructions": normal_result.instructions,
+            "sim_cycles": normal_result.cycles,
+            "sim_uops": normal_result.uops,
+            "counters_equal": counters_equal,
+            "normal_wall_seconds": list(normal.samples),
+            "fast_wall_seconds": list(fast.samples),
+            "normal_median_seconds": n_med,
+            "fast_median_seconds": f_med,
+            "normal_inst_per_sec": normal_result.instructions / n_med,
+            "normal_cycles_per_sec": normal_result.cycles / n_med,
+            "fast_inst_per_sec": normal_result.instructions / f_med,
+            "fast_cycles_per_sec": normal_result.cycles / f_med,
+            "speedup": n_med / f_med,
+        }
+        if progress is not None:
+            progress(f"{params.name}/{design}: normal {n_med:.3f}s, "
+                     f"fast {f_med:.3f}s, speedup "
+                     f"{n_med / f_med:.2f}x, "
+                     f"counters {'equal' if counters_equal else 'DIVERGED'}")
+    return suite
+
+
+def run_report(suites: Sequence[SuiteParams],
+               designs: Sequence[str] = POLICY_LABELS,
+               progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the given suites into one schema-versioned report."""
+    report: Dict = {"schema_version": SCHEMA_VERSION, "suites": {}}
+    for params in suites:
+        report["suites"][params.name] = run_suite(params, designs, progress)
+    return report
+
+
+# -- comparison ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """Outcome of diffing a fresh report against a baseline report."""
+
+    lines: Tuple[str, ...]
+    failures: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _check_report(report: Dict, label: str) -> None:
+    if not isinstance(report, dict) or "suites" not in report:
+        raise BenchError(f"{label} report is not a bench report")
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise BenchError(
+            f"{label} report has schema_version {version!r}; "
+            f"this tool reads version {SCHEMA_VERSION}")
+
+
+def compare_reports(current: Dict, baseline: Dict, *,
+                    threshold: float = 0.25,
+                    min_speedup: float = 0.0) -> CompareResult:
+    """Diff ``current`` against ``baseline`` suite-by-suite.
+
+    Three gates, per design of every suite present in both reports:
+
+    - *counters*: simulated instructions/cycles/uops must match exactly and
+      the current run's fast/normal counters must agree — always on (a
+      mismatch means the simulation changed, not the machine);
+    - *wall clock*: the fast and normal medians may regress by at most
+      ``threshold`` (fractional; ``0`` or negative disables — use this in
+      CI where baseline timings come from a different machine);
+    - *speedup*: the current fast-over-normal ratio must be at least
+      ``min_speedup`` (``0`` disables).  Machine-independent, so it is the
+      CI-safe performance gate.
+    """
+    _check_report(current, "current")
+    _check_report(baseline, "baseline")
+    lines: List[str] = []
+    failures: List[str] = []
+    shared = [name for name in current["suites"] if name in baseline["suites"]]
+    if not shared:
+        raise BenchError(
+            "no suite names in common between current "
+            f"({', '.join(current['suites']) or 'none'}) and baseline "
+            f"({', '.join(baseline['suites']) or 'none'})")
+    for name in shared:
+        cur = current["suites"][name]
+        base = baseline["suites"][name]
+        mismatched = [field for field in _IDENTITY_FIELDS
+                      if cur.get(field) != base.get(field)]
+        if mismatched:
+            failures.append(
+                f"{name}: suite parameters differ from baseline "
+                f"({', '.join(mismatched)}); counters are not comparable")
+            continue
+        for design, cur_d in cur["designs"].items():
+            base_d = base["designs"].get(design)
+            if base_d is None:
+                lines.append(f"{name}/{design}: not in baseline, skipped")
+                continue
+            problems: List[str] = []
+            diverged = [field for field in _COUNTER_FIELDS
+                        if cur_d[field] != base_d[field]]
+            if diverged:
+                problems.append(
+                    "counter mismatch: " + ", ".join(
+                        f"{field} {base_d[field]} -> {cur_d[field]}"
+                        for field in diverged))
+            if not cur_d["counters_equal"]:
+                problems.append("fast/normal counters diverged")
+            deltas = []
+            for mode in ("normal", "fast"):
+                cur_t = cur_d[f"{mode}_median_seconds"]
+                base_t = base_d[f"{mode}_median_seconds"]
+                change = cur_t / base_t - 1.0
+                deltas.append(f"{mode} {base_t:.3f}s -> {cur_t:.3f}s "
+                              f"({change:+.1%})")
+                if threshold > 0 and change > threshold:
+                    problems.append(
+                        f"{mode} wall time regressed {change:+.1%} "
+                        f"(threshold {threshold:.0%})")
+            speedup = cur_d["speedup"]
+            deltas.append(f"speedup {base_d['speedup']:.2f}x -> "
+                          f"{speedup:.2f}x")
+            if min_speedup > 0 and speedup < min_speedup:
+                problems.append(f"fast-mode speedup {speedup:.2f}x below "
+                                f"floor {min_speedup:.2f}x")
+            verdict = "FAIL: " + "; ".join(problems) if problems else "ok"
+            lines.append(f"{name}/{design}: {', '.join(deltas)} [{verdict}]")
+            for problem in problems:
+                failures.append(f"{name}/{design}: {problem}")
+    return CompareResult(lines=tuple(lines), failures=tuple(failures))
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def render_report(report: Dict) -> str:
+    """Human-readable summary of a report (printed after a bench run)."""
+    out: List[str] = []
+    for name, suite in report["suites"].items():
+        out.append(f"suite {name}: {suite['workload']}, "
+                   f"{suite['instructions']} instructions, "
+                   f"median of {suite['repeats']}")
+        for design, data in suite["designs"].items():
+            flag = "" if data["counters_equal"] else "  COUNTERS DIVERGED"
+            out.append(
+                f"  {design:<9s} normal {data['normal_median_seconds']:.3f}s "
+                f"({data['normal_inst_per_sec']:>9.0f} inst/s, "
+                f"{data['normal_cycles_per_sec']:>9.0f} cyc/s)   "
+                f"fast {data['fast_median_seconds']:.3f}s "
+                f"({data['fast_inst_per_sec']:>9.0f} inst/s)   "
+                f"speedup {data['speedup']:.2f}x{flag}")
+    return "\n".join(out)
+
+
+def render_compare(result: CompareResult) -> str:
+    out = list(result.lines)
+    if result.ok:
+        out.append("bench compare: ok")
+    else:
+        out.append(f"bench compare: {len(result.failures)} failure(s)")
+        out.extend(f"  {failure}" for failure in result.failures)
+    return "\n".join(out)

@@ -1,0 +1,75 @@
+"""Wall-clock measurement primitives (warmup + repeat-and-take-median).
+
+Kept free of simulator imports so the figure benches under ``benchmarks/``
+can reuse them for any callable.  Only :func:`time.perf_counter` is used —
+the monotonic high-resolution clock simlint's determinism rule permits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple, TypeVar
+
+from ..common.errors import ConfigError
+
+_T = TypeVar("_T")
+
+
+def median(values: Sequence[float]) -> float:
+    """Exact median: middle of the sorted samples, mean of the two middles
+    for even counts.  (Local so the bench has no statistics-module import
+    whose tie-breaking could drift between Python versions.)"""
+    if not values:
+        raise ConfigError("median of an empty sample set")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Repeated wall-clock samples of one callable."""
+
+    samples: Tuple[float, ...]
+
+    @property
+    def median_seconds(self) -> float:
+        return median(self.samples)
+
+    @property
+    def best_seconds(self) -> float:
+        return min(self.samples)
+
+
+def timed(fn: Callable[[], _T]) -> Tuple[_T, float]:
+    """One timed call, keeping the result: ``(fn(), wall_seconds)``.
+
+    For expensive one-shot computations (session-cached sweeps) where
+    :func:`measure`'s repeat-and-discard discipline would be wasteful.
+    """
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def measure(fn: Callable[[], object], repeats: int = 5,
+            warmup_runs: int = 1) -> Measurement:
+    """Time ``fn`` with ``warmup_runs`` untimed calls (JIT-less Python still
+    benefits: code objects warm the icache, lazy caches fill) followed by
+    ``repeats`` timed calls.  Use :attr:`Measurement.median_seconds` — the
+    median is robust to the occasional scheduler hiccup a mean is not."""
+    if repeats < 1:
+        raise ConfigError("measure() needs repeats >= 1")
+    if warmup_runs < 0:
+        raise ConfigError("measure() needs warmup_runs >= 0")
+    for _ in range(warmup_runs):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return Measurement(samples=tuple(samples))

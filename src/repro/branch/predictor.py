@@ -87,6 +87,63 @@ class BranchPredictionUnit:
             self.decode_resteers += 1
         return resolution
 
+    def observe_fast(self, inst: X86Instruction, taken: bool,
+                     actual_target: int) -> int:
+        """Counters-only :meth:`observe`: identical predictor state changes
+        and outcome counters, but returns the outcome as a plain int
+        (0 = correct, 1 = decode resteer, 2 = mispredict) and skips the
+        per-branch :class:`BranchResolution` allocation.  Conditional
+        branches — the overwhelmingly common kind — go through the fused
+        single-walk :meth:`TagePredictor.observe`; the rare kinds reuse the
+        slow-path helpers verbatim.
+        """
+        self.branches += 1
+        if self.config.perfect:
+            self._train_only(inst, taken, actual_target)
+            return 0
+        kind = inst.branch_kind
+
+        if kind is BranchKind.CONDITIONAL:
+            address = inst.address
+            predicted_taken = self.tage.observe(address, taken)
+            if predicted_taken != taken:
+                if taken:
+                    self.btb.install(address, actual_target, kind)
+                self.mispredicts += 1
+                return 2
+            if taken:
+                btb_outcome, record = self.btb.lookup(address)
+                self.btb.install(address, actual_target, kind)
+                if btb_outcome is BtbOutcome.MISS or record is None:
+                    self.decode_resteers += 1
+                    return 1
+                if record.target != actual_target:
+                    self.mispredicts += 1
+                    return 2
+            return 0
+
+        if kind in (BranchKind.UNCONDITIONAL, BranchKind.CALL):
+            resolution = self._observe_direct(inst, actual_target)
+            if kind is BranchKind.CALL:
+                self.ras.push(inst.end_address)
+        elif kind is BranchKind.INDIRECT_CALL:
+            resolution = self._observe_indirect(inst, actual_target)
+            self.ras.push(inst.end_address)
+        elif kind is BranchKind.RET:
+            resolution = self._observe_return(inst, actual_target)
+        elif kind is BranchKind.INDIRECT:
+            resolution = self._observe_indirect(inst, actual_target)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unhandled branch kind {kind}")
+        outcome = resolution.outcome
+        if outcome is PredictionOutcome.MISPREDICT:
+            self.mispredicts += 1
+            return 2
+        if outcome is PredictionOutcome.DECODE_RESTEER:
+            self.decode_resteers += 1
+            return 1
+        return 0
+
     def _observe_conditional(self, inst: X86Instruction, taken: bool,
                              actual_target: int) -> BranchResolution:
         predicted_taken = self.tage.predict(inst.address)

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..common.config import MemoryHierarchyConfig
 from ..common.statistics import StatGroup
+from .replacement import TrueLru
 from .setassoc import SetAssociativeCache
 
 
@@ -31,6 +32,12 @@ class MemoryHierarchy:
         self._i_prefetches = self.stats.counter("icache_prefetches")
         self._i_prefetch_hits = self.stats.counter("icache_prefetch_line_hits")
         self._line_bytes = cfg.l1i.line_bytes
+        # Recency lists for the fast paths' inlined LRU-hit update (None when
+        # an L1 runs a non-LRU policy; the fast paths then call on_hit).
+        self._l1i_lru = self.l1i._policy._order \
+            if isinstance(self.l1i._policy, TrueLru) else None
+        self._l1d_lru = self.l1d._policy._order \
+            if isinstance(self.l1d._policy, TrueLru) else None
 
     # -- instruction side -----------------------------------------------------
 
@@ -69,12 +76,82 @@ class MemoryHierarchy:
             self._fill_all(next_line, self.l1d)
         return latency
 
+    # -- fast variants (counters-only serve loop) ----------------------------
+
+    def access_data_fast(self, address: int) -> int:
+        """Counters-only :meth:`access_data`: the dominant L1-D-hit case is
+        inlined (index/tag arithmetic, membership test, direct counter
+        bumps); misses fall through to the shared :meth:`_miss_latency`
+        machinery, so every counter and every replacement/fill state change
+        is identical to the normal path."""
+        l1d = self.l1d
+        line = address >> l1d._line_shift
+        set_index = line & l1d._set_mask
+        tag = line >> l1d._set_shift
+        ways = l1d._tags[set_index]
+        try:
+            way = ways.index(tag)
+        except ValueError:
+            l1d._misses.value += 1
+            latency = self._miss_latency(address, l1d)
+        else:
+            lru = self._l1d_lru
+            if lru is not None:
+                order = lru[set_index]
+                order.remove(way)
+                order.append(way)
+            else:  # pragma: no cover - non-LRU L1-D configuration
+                l1d._policy.on_hit(set_index, way)
+            l1d._hits.value += 1
+            latency = l1d.config.hit_latency_cycles
+        next_line = line + 1
+        if (next_line >> l1d._set_shift) not in \
+                l1d._tags[next_line & l1d._set_mask]:
+            self._fill_all(next_line << l1d._line_shift, l1d)
+        return latency
+
+    def fetch_instruction_line_fast(self, address: int) -> int:
+        """Counters-only :meth:`fetch_instruction_line` (same contract as
+        :meth:`access_data_fast`)."""
+        l1i = self.l1i
+        line = address >> l1i._line_shift
+        set_index = line & l1i._set_mask
+        tag = line >> l1i._set_shift
+        ways = l1i._tags[set_index]
+        try:
+            way = ways.index(tag)
+        except ValueError:
+            l1i._misses.value += 1
+            latency = self._miss_latency(address, l1i)
+        else:
+            lru = self._l1i_lru
+            if lru is not None:
+                order = lru[set_index]
+                order.remove(way)
+                order.append(way)
+            else:  # pragma: no cover - non-LRU L1-I configuration
+                l1i._policy.on_hit(set_index, way)
+            l1i._hits.value += 1
+            latency = l1i.config.hit_latency_cycles
+        if self.config.icache_prefetch:
+            next_line = line + 1
+            if (next_line >> l1i._set_shift) in \
+                    l1i._tags[next_line & l1i._set_mask]:
+                self._i_prefetch_hits.value += 1
+            else:
+                self._i_prefetches.value += 1
+                self._fill_all(next_line << l1i._line_shift, l1i)
+        return latency
+
     # -- shared machinery -------------------------------------------------------
 
     def _access(self, address: int, l1: SetAssociativeCache) -> int:
-        cfg = self.config
         if l1.lookup(address):
             return l1.config.hit_latency_cycles
+        return self._miss_latency(address, l1)
+
+    def _miss_latency(self, address: int, l1: SetAssociativeCache) -> int:
+        """Latency and fills below a missing L1 (L1 miss already counted)."""
         latency = l1.config.hit_latency_cycles
         if self.l2.lookup(address):
             latency += self.l2.config.hit_latency_cycles
@@ -86,7 +163,8 @@ class MemoryHierarchy:
             self.l2.fill(address)
             l1.fill(address)
             return latency
-        latency += self.l3.config.hit_latency_cycles + cfg.dram_latency_cycles
+        latency += self.l3.config.hit_latency_cycles + \
+            self.config.dram_latency_cycles
         self._fill_all(address, l1)
         return latency
 

@@ -25,6 +25,7 @@ class SetAssociativeCache:
         self.line_bytes = config.line_bytes
         self._line_shift = self.line_bytes.bit_length() - 1
         self._set_mask = self.num_sets - 1
+        self._set_shift = self.num_sets.bit_length() - 1
         self._tags: List[List[Optional[int]]] = [
             [None] * self.num_ways for _ in range(self.num_sets)]
         self._policy = make_policy(config.replacement,
@@ -37,7 +38,7 @@ class SetAssociativeCache:
 
     def _index_tag(self, address: int) -> tuple:
         line = address >> self._line_shift
-        return line & self._set_mask, line >> self.num_sets.bit_length() - 1
+        return line & self._set_mask, line >> self._set_shift
 
     def lookup(self, address: int, update_replacement: bool = True) -> bool:
         """True on hit.  Does not fill on miss (caller decides)."""
@@ -71,7 +72,7 @@ class SetAssociativeCache:
         self._fills.increment()
         if evicted_tag is None:
             return None
-        evicted_line = (evicted_tag << (self.num_sets.bit_length() - 1)) | set_index
+        evicted_line = (evicted_tag << self._set_shift) | set_index
         return evicted_line << self._line_shift
 
     def invalidate(self, address: int) -> bool:

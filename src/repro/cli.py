@@ -11,6 +11,7 @@ Commands:
 - ``table2``         render the workload suite (paper Table II)
 - ``workloads``      list the available workload profiles
 - ``lint``           run the simlint determinism/correctness linter
+- ``bench``          simulator performance baseline (normal vs fast mode)
 - ``fuzz``           differential-oracle fuzzing of the uop cache designs
 - ``serve``          run the crash-safe simulation job service (HTTP/JSON)
 - ``chaos``          fault-injection harness proving crash-safe recovery
@@ -36,6 +37,7 @@ from .core.experiment import (
     run_policy_sweep,
     workload_trace,
 )
+from .bench.cli import add_bench_arguments, run_bench_command
 from .common.errors import ConfigError, ReproError
 from .core.simulator import Simulator
 from .lint.cli import add_lint_arguments, run_lint
@@ -366,6 +368,12 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the simlint determinism/correctness linter")
     add_lint_arguments(lint_parser)
     lint_parser.set_defaults(func=run_lint)
+
+    bench_parser = commands.add_parser(
+        "bench", help="simulator performance baseline "
+                      "(normal vs counters-only fast mode)")
+    add_bench_arguments(bench_parser)
+    bench_parser.set_defaults(func=run_bench_command)
 
     fuzz_parser = commands.add_parser(
         "fuzz", help="differential-oracle fuzzing of the uop cache designs")

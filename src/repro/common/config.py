@@ -307,11 +307,22 @@ class SimulatorConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     warmup_instructions: int = 0
     max_instructions: Optional[int] = None
+    #: Counters-only serve loop: skips telemetry hooks and per-uop object
+    #: churn while producing a bit-identical :class:`SimulationResult`
+    #: (equivalence enforced by oracle, golden, and property tests).
+    fast_mode: bool = False
 
     def __post_init__(self) -> None:
         _require(self.warmup_instructions >= 0, "warmup must be >= 0")
         if self.max_instructions is not None:
             _require(self.max_instructions > 0, "max_instructions must be positive")
+        _require(not (self.fast_mode and self.telemetry.enabled),
+                 "fast_mode is counters-only and cannot be combined with "
+                 "telemetry (disable telemetry or run in normal mode)")
+
+    def with_fast_mode(self, enabled: bool = True) -> "SimulatorConfig":
+        """Copy with the counters-only fast serve loop toggled."""
+        return replace(self, fast_mode=enabled)
 
     def with_uop_cache(self, **kwargs: Any) -> "SimulatorConfig":
         """Copy with uop-cache fields replaced (convenience for sweeps)."""

@@ -159,7 +159,19 @@ class Simulator:
     # ------------------------------------------------------------------ run
 
     def run(self) -> SimulationResult:
-        """Run the whole trace and return the results."""
+        """Run the whole trace and return the results.
+
+        With ``config.fast_mode`` (and no telemetry hub, which the config
+        layer already rejects) the counters-only specialized serve loop in
+        :mod:`repro.core.fastpath` runs instead of draining :meth:`steps`;
+        it produces a bit-identical result (tests/test_fast_mode.py).  A
+        hub attached explicitly by a coordinator wins over fast mode.
+        """
+        if self.config.fast_mode and self.telemetry is None:
+            # Imported here: fastpath imports from this module.
+            from .fastpath import FastPath
+            FastPath(self).run()
+            return self.collect()
         for _ in self.steps():
             pass
         return self.collect()

@@ -12,6 +12,7 @@ from .fuzzer import (FuzzInput, FuzzResult, WorkloadFuzzer, build_profile,
                      minimize, replay_repro, run_input, write_repro)
 from .reference import ReferenceAccumulator, ReferenceUopCache, RefEntry
 from .runner import (DiffReport, DifferentialRunner, OracleDivergence,
+                     diff_fast_mode, first_result_divergence,
                      resolve_branch_outcomes)
 
 __all__ = [
@@ -20,6 +21,8 @@ __all__ = [
     "FuzzInput",
     "FuzzResult",
     "OracleDivergence",
+    "diff_fast_mode",
+    "first_result_divergence",
     "RefEntry",
     "ReferenceAccumulator",
     "ReferenceFrontEnd",

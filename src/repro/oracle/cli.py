@@ -36,6 +36,10 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out-dir", default="tests/repros",
                         help="where minimized repros are written "
                              "(default: tests/repros)")
+    parser.add_argument("--fast-mode", action="store_true",
+                        help="fuzz the counters-only fast mode against the "
+                             "normal serve loop (full-result equality) "
+                             "instead of against the reference front-end")
     parser.add_argument("--replay", default=None, metavar="REPRO_JSON",
                         help="re-run a minimized repro file instead of "
                              "fuzzing")
@@ -72,7 +76,8 @@ def run_fuzz(args: argparse.Namespace) -> int:
         designs=designs, seed=args.seed, budget=args.budget,
         max_seconds=args.max_seconds,
         max_instructions=args.instructions,
-        out_dir=args.out_dir)
+        out_dir=args.out_dir,
+        fast_mode=args.fast_mode)
     progress = None if args.quiet else \
         (lambda line: print("  " + line, file=sys.stderr))
     result = fuzzer.run(progress=progress)

@@ -34,7 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 from ..common.errors import OracleError, WorkloadError
 from ..core.experiment import POLICY_LABELS, policy_config
 from ..workloads.generator import WorkloadProfile, generate_workload
-from .runner import DiffReport, DifferentialRunner
+from .runner import DiffReport, DifferentialRunner, diff_fast_mode
 
 #: Uop cache capacities the fuzzer samples (all valid ``with_capacity_uops``
 #: arguments for the default 8-way x 8-uop geometry, giving 2..16 sets).
@@ -75,6 +75,10 @@ class FuzzInput:
     max_entries_per_line: int = 2
     smc_interval: int = 0
     smc_seed: int = 0
+    #: When set, the input is checked fast-mode-vs-normal (full-result
+    #: equality on the production simulator) instead of against the
+    #: lockstep reference front-end.
+    fast_mode: bool = False
 
     def params(self) -> Dict[str, Any]:
         return dict(self.profile_params)
@@ -97,6 +101,7 @@ class FuzzInput:
             "max_entries_per_line": self.max_entries_per_line,
             "smc_interval": self.smc_interval,
             "smc_seed": self.smc_seed,
+            "fast_mode": self.fast_mode,
         }
 
     @classmethod
@@ -115,6 +120,7 @@ class FuzzInput:
             max_entries_per_line=int(data.get("max_entries_per_line", 2)),
             smc_interval=int(data.get("smc_interval", 0)),
             smc_seed=int(data.get("smc_seed", 0)),
+            fast_mode=bool(data.get("fast_mode", False)),
         )
 
 
@@ -136,6 +142,11 @@ def run_input(fuzz_input: FuzzInput,
                            seed=fuzz_input.walk_seed)
     config = policy_config(fuzz_input.design, fuzz_input.capacity_uops,
                            fuzz_input.max_entries_per_line)
+    if fuzz_input.fast_mode:
+        # Fast-vs-normal differential: both sides are the production
+        # simulator; the SMC probe schedule (a lockstep-runner concept)
+        # does not apply.
+        return diff_fast_mode(trace, config, fuzz_input.design)
     runner = DifferentialRunner(
         trace, config, config_label=fuzz_input.design,
         smc_interval=fuzz_input.smc_interval,
@@ -206,8 +217,9 @@ def mutate(rng: random.Random, parent: FuzzInput, design: str,
         num_instructions=rng.randint(100, max_instructions),
         capacity_uops=rng.choice(_CAPACITIES),
         max_entries_per_line=rng.choice((2, 2, 3, 4)),
-        smc_interval=smc_interval,
+        smc_interval=0 if parent.fast_mode else smc_interval,
         smc_seed=rng.randint(0, 1 << 16),
+        fast_mode=parent.fast_mode,
     )
 
 
@@ -342,7 +354,8 @@ class WorkloadFuzzer:
                  budget: int = 100, max_seconds: Optional[float] = None,
                  max_instructions: int = 1000,
                  out_dir: Union[str, Path] = "tests/repros",
-                 minimize_runs: int = 80) -> None:
+                 minimize_runs: int = 80,
+                 fast_mode: bool = False) -> None:
         for design in designs:
             if design not in POLICY_LABELS:
                 raise OracleError(
@@ -357,6 +370,7 @@ class WorkloadFuzzer:
         self.max_instructions = max_instructions
         self.out_dir = Path(out_dir)
         self.minimize_runs = minimize_runs
+        self.fast_mode = fast_mode
 
     def run(self, progress=None) -> FuzzResult:
         rng = random.Random(self.seed)
@@ -372,7 +386,7 @@ class WorkloadFuzzer:
             design = self.designs[iteration % len(self.designs)]
             parent_params = rng.choice(corpus)
             parent = FuzzInput(design=design, profile_params=tuple(
-                sorted(parent_params.items())))
+                sorted(parent_params.items())), fast_mode=self.fast_mode)
             candidate = mutate(rng, parent, design,
                                max_instructions=self.max_instructions)
             try:
@@ -401,8 +415,9 @@ class WorkloadFuzzer:
                     candidate, max_runs=self.minimize_runs)
                 session.minimized_input = minimized
                 session.divergence = min_report
+                mode = "fast-" if self.fast_mode else ""
                 session.repro_path = write_repro(
-                    self.out_dir / f"divergence-{design}-"
+                    self.out_dir / f"divergence-{mode}{design}-"
                     f"seed{self.seed}-run{session.runs}.json",
                     minimized, min_report)
                 break

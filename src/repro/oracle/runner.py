@@ -128,6 +128,99 @@ def _first_mismatch(reference: Dict[str, int],
     return None
 
 
+def first_result_divergence(reference: Dict[str, Any],
+                            optimized: Dict[str, Any],
+                            prefix: str = "") -> Optional[tuple]:
+    """First differing field between two ``SimulationResult.to_dict()``
+    payloads as ``(dotted.path, reference_value, optimized_value)``, walking
+    nested dicts in sorted key order; ``None`` when equal.  Shared by the
+    fast-mode differential below and the golden/fast-mode test suites so a
+    divergence is always reported at field granularity."""
+    for key in sorted(set(reference) | set(optimized), key=str):
+        path = f"{prefix}{key}"
+        ref_value = reference.get(key)
+        opt_value = optimized.get(key)
+        if isinstance(ref_value, dict) and isinstance(opt_value, dict):
+            nested = first_result_divergence(ref_value, opt_value,
+                                             prefix=f"{path}.")
+            if nested is not None:
+                return nested
+            continue
+        if ref_value != opt_value:
+            return (path, ref_value, opt_value)
+    return None
+
+
+def _result_coverage(sim: Simulator) -> FrozenSet[str]:
+    """Behavioural signals of a completed (non-telemetry) run, mirroring the
+    reference differential's coverage key so the fuzzer's corpus guidance
+    works identically in ``--fast-mode``."""
+    signals = set()
+    oc = sim.uop_cache
+    for kind, count in oc.fill_kind_counts.items():
+        if count:
+            signals.add(f"fill:{kind.value}")
+    for reason, count in oc.termination_counts.items():
+        if count:
+            signals.add(f"term:{reason.value}")
+    if oc.evicted_entries:
+        signals.add("behavior:evict")
+    if oc.invalidated_entries:
+        signals.add("behavior:smc")
+    if oc.duplicate_fills:
+        signals.add("behavior:duplicate")
+    if sim.accumulator.bypassed_uops:
+        signals.add("behavior:bypass")
+    if oc.spanning_fill_fraction > 0:
+        signals.add("behavior:clasp-span")
+    if sim._mispredicts:
+        signals.add("behavior:mispredict")
+    if sim.bpu.decode_resteers:
+        signals.add("behavior:resteer")
+    if sim._uops_from_loop:
+        signals.add("behavior:loop-cache")
+    return frozenset(signals)
+
+
+def diff_fast_mode(trace: Trace, config: SimulatorConfig,
+                   config_label: str = "",
+                   raise_on_divergence: bool = False) -> DiffReport:
+    """Run ``trace`` through the normal serve loop and the counters-only
+    fast mode and require identical :class:`SimulationResult` payloads.
+
+    Unlike the lockstep reference differential, both sides here are the
+    production simulator — the loop cache, warmup snapshots and every design
+    are in scope — and the comparison is the full end-of-run result surface
+    (``to_dict()``), field by field.  The first differing field is reported
+    as an :class:`OracleDivergence` with the dotted field path as the
+    counter name.
+    """
+    if config.fast_mode:
+        config = config.with_fast_mode(False)
+    normal_sim = Simulator(trace, config, config_label)
+    normal = normal_sim.run()
+    fast_sim = Simulator(trace, config.with_fast_mode(), config_label)
+    report = DiffReport(workload=trace.name, config_label=config_label)
+    try:
+        fast = fast_sim.run()
+    except (CacheError, SimulationError) as error:
+        report.divergence = OracleDivergence(
+            trace.name, config_label, 0, "exception",
+            "no exception", repr(error))
+    else:
+        split = first_result_divergence(normal.to_dict(), fast.to_dict())
+        if split is not None:
+            report.divergence = OracleDivergence(
+                trace.name, config_label, 0, *split)
+    report.actions = len(trace.records)
+    if report.divergence is None:
+        report.counters = fast_sim.supply_counters()
+    report.coverage = _result_coverage(normal_sim)
+    if raise_on_divergence and report.divergence is not None:
+        raise report.divergence
+    return report
+
+
 def _coverage_signals(sim: Simulator, hub: TelemetryHub,
                       ref_counters: Dict[str, int]) -> FrozenSet[str]:
     signals = {f"event:{kind}" for kind in hub.summary()}

@@ -138,6 +138,27 @@ class UopCache:
                 return entry
         raise CacheError(f"index desync at pc {pc:#x}")  # pragma: no cover
 
+    def lookup_fast(self, pc: int) -> Optional[UopCacheEntry]:
+        """Counters-only :meth:`lookup`: identical architectural effects
+        (hit/miss counters, uops-delivered, LRU promotion) without the
+        telemetry branches or counter-method dispatch.  Only valid when no
+        telemetry hub is attached (the fast serve loop's contract)."""
+        set_index = (pc // self.icache_line_bytes) % self.config.num_sets
+        way = self._index[set_index].get(pc)
+        if way is None:
+            self._misses.value += 1
+            return None
+        for entry in self._sets[set_index][way].entries:
+            if entry.start_pc == pc:
+                # TrueLru.on_hit inlined (self._lru is always TrueLru).
+                order = self._lru._order[set_index]
+                order.remove(way)
+                order.append(way)
+                self._hits.value += 1
+                self._uops_delivered.value += len(entry.uops)
+                return entry
+        raise CacheError(f"index desync at pc {pc:#x}")  # pragma: no cover
+
     def probe(self, pc: int) -> bool:
         """Presence check without stats or replacement update."""
         return pc in self._index[self.set_index(pc)]

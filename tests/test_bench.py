@@ -1,0 +1,275 @@
+"""The bench harness: timing utilities, suite runner, report schema,
+baseline comparison gates and the ``repro bench`` CLI contract."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    SUITES,
+    BenchError,
+    Measurement,
+    SuiteParams,
+    compare_reports,
+    measure,
+    median,
+    render_compare,
+    render_report,
+    run_report,
+    run_suite,
+    timed,
+)
+from repro.cli import main
+from repro.common.errors import ConfigError
+
+#: A suite small enough to run inside the tier-1 budget but large enough to
+#: exercise warmup and the uop cache (a few hundred fills).
+_TINY = SuiteParams(name="tiny", instructions=400, repeats=1, warmup_runs=0)
+_DESIGNS = ("baseline", "f-pwac")
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_report([_TINY], designs=_DESIGNS)
+
+
+# --------------------------------------------------------------------------
+# Timing utilities.
+# --------------------------------------------------------------------------
+
+class TestTiming:
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_averages_middles(self):
+        assert median([4.0, 1.0, 3.0, 2.0]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ConfigError):
+            median([])
+
+    def test_measurement_median_and_best(self):
+        m = Measurement(samples=(0.3, 0.1, 0.2))
+        assert m.median_seconds == 0.2
+        assert m.best_seconds == 0.1
+
+    def test_measure_runs_warmups_then_repeats(self):
+        calls = []
+        result = measure(lambda: calls.append(len(calls)),
+                         repeats=3, warmup_runs=2)
+        assert len(calls) == 5
+        assert len(result.samples) == 3
+        assert all(sample >= 0.0 for sample in result.samples)
+
+    def test_measure_validates_arguments(self):
+        with pytest.raises(ConfigError):
+            measure(lambda: None, repeats=0)
+        with pytest.raises(ConfigError):
+            measure(lambda: None, repeats=1, warmup_runs=-1)
+
+    def test_timed_keeps_result(self):
+        value, seconds = timed(lambda: 42)
+        assert value == 42
+        assert seconds >= 0.0
+
+
+# --------------------------------------------------------------------------
+# Suite runner and report schema.
+# --------------------------------------------------------------------------
+
+class TestRunSuite:
+
+    def test_report_shape(self, tiny_report):
+        assert tiny_report["schema_version"] == SCHEMA_VERSION
+        suite = tiny_report["suites"]["tiny"]
+        for field in ("instructions", "workload", "capacity_uops",
+                      "max_entries_per_line", "seed", "repeats",
+                      "warmup_runs"):
+            assert field in suite
+        assert set(suite["designs"]) == set(_DESIGNS)
+
+    def test_design_section(self, tiny_report):
+        for data in tiny_report["suites"]["tiny"]["designs"].values():
+            assert data["counters_equal"] is True
+            assert data["sim_instructions"] == _TINY.instructions
+            assert data["sim_cycles"] > 0 and data["sim_uops"] > 0
+            assert len(data["normal_wall_seconds"]) == _TINY.repeats
+            assert len(data["fast_wall_seconds"]) == _TINY.repeats
+            assert data["normal_inst_per_sec"] == pytest.approx(
+                data["sim_instructions"] / data["normal_median_seconds"])
+            assert data["fast_cycles_per_sec"] == pytest.approx(
+                data["sim_cycles"] / data["fast_median_seconds"])
+            assert data["speedup"] == pytest.approx(
+                data["normal_median_seconds"] / data["fast_median_seconds"])
+
+    def test_counters_are_deterministic(self, tiny_report):
+        rerun = run_suite(_TINY, designs=("baseline",))
+        first = tiny_report["suites"]["tiny"]["designs"]["baseline"]
+        again = rerun["designs"]["baseline"]
+        for field in ("sim_instructions", "sim_cycles", "sim_uops"):
+            assert first[field] == again[field]
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(BenchError):
+            run_suite(_TINY, designs=("no-such-design",))
+
+    def test_report_is_json_and_hostless(self, tiny_report):
+        text = json.dumps(tiny_report, sort_keys=True)
+        assert json.loads(text) == tiny_report
+        for banned in ("time", "date", "host", "platform"):
+            assert banned not in text.lower().replace(
+                "wall_seconds", "").replace("_per_sec", "")
+
+    def test_standard_suites_registered(self):
+        assert set(SUITES) == {"full", "smoke"}
+        assert SUITES["full"].instructions > SUITES["smoke"].instructions
+
+    def test_render_report_mentions_designs(self, tiny_report):
+        text = render_report(tiny_report)
+        for design in _DESIGNS:
+            assert design in text
+        assert "speedup" in text
+
+
+# --------------------------------------------------------------------------
+# Baseline comparison gates.
+# --------------------------------------------------------------------------
+
+def _mutated(report, mutate):
+    copy = json.loads(json.dumps(report))
+    mutate(copy)
+    return copy
+
+
+class TestCompare:
+
+    def test_self_compare_ok(self, tiny_report):
+        result = compare_reports(tiny_report, tiny_report, threshold=0.25)
+        assert result.ok
+        assert any("tiny/baseline" in line for line in result.lines)
+        assert "bench compare: ok" in render_compare(result)
+
+    def test_counter_mismatch_always_fails(self, tiny_report):
+        baseline = _mutated(tiny_report, lambda r: r["suites"]["tiny"]
+                            ["designs"]["baseline"].update(sim_cycles=1))
+        result = compare_reports(tiny_report, baseline, threshold=0.0)
+        assert not result.ok
+        assert any("counter mismatch" in failure
+                   for failure in result.failures)
+
+    def test_fast_normal_divergence_flag_fails(self, tiny_report):
+        current = _mutated(tiny_report, lambda r: r["suites"]["tiny"]
+                           ["designs"]["baseline"]
+                           .update(counters_equal=False))
+        result = compare_reports(current, tiny_report, threshold=0.0)
+        assert any("fast/normal counters diverged" in failure
+                   for failure in result.failures)
+
+    def test_wall_regression_past_threshold_fails(self, tiny_report):
+        def slow_down(report):
+            design = report["suites"]["tiny"]["designs"]["baseline"]
+            design["normal_median_seconds"] *= 10.0
+        current = _mutated(tiny_report, slow_down)
+        assert not compare_reports(current, tiny_report, threshold=0.25).ok
+        # threshold 0 disables the (machine-dependent) timing gate entirely.
+        assert compare_reports(current, tiny_report, threshold=0.0).ok
+
+    def test_min_speedup_floor(self, tiny_report):
+        result = compare_reports(tiny_report, tiny_report, threshold=0.0,
+                                 min_speedup=1000.0)
+        assert any("below" in failure and "floor" in failure
+                   for failure in result.failures)
+        assert compare_reports(tiny_report, tiny_report, threshold=0.0,
+                               min_speedup=0.0).ok
+
+    def test_identity_mismatch_fails(self, tiny_report):
+        baseline = _mutated(tiny_report, lambda r: r["suites"]["tiny"]
+                            .update(seed=999))
+        result = compare_reports(tiny_report, baseline, threshold=0.0)
+        assert any("suite parameters differ" in failure
+                   for failure in result.failures)
+
+    def test_design_missing_from_baseline_skipped(self, tiny_report):
+        baseline = _mutated(tiny_report, lambda r: r["suites"]["tiny"]
+                            ["designs"].pop("f-pwac"))
+        result = compare_reports(tiny_report, baseline, threshold=0.0)
+        assert result.ok
+        assert any("not in baseline" in line for line in result.lines)
+
+    def test_schema_version_mismatch_raises(self, tiny_report):
+        stale = _mutated(tiny_report, lambda r: r.update(schema_version=99))
+        with pytest.raises(BenchError):
+            compare_reports(tiny_report, stale)
+        with pytest.raises(BenchError):
+            compare_reports(stale, tiny_report)
+
+    def test_non_report_raises(self, tiny_report):
+        with pytest.raises(BenchError):
+            compare_reports(tiny_report, {"not": "a report"})
+
+    def test_no_shared_suites_raises(self, tiny_report):
+        renamed = _mutated(
+            tiny_report,
+            lambda r: r.update(suites={"other": r["suites"]["tiny"]}))
+        with pytest.raises(BenchError):
+            compare_reports(tiny_report, renamed)
+
+
+# --------------------------------------------------------------------------
+# CLI contract: exit codes and report files.
+# --------------------------------------------------------------------------
+
+_CLI_ARGS = ["bench", "--smoke", "--instructions", "400", "--repeats", "1",
+             "--designs", "baseline", "--quiet"]
+
+
+class TestCli:
+
+    def test_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([*_CLI_ARGS, "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert "baseline" in report["suites"]["smoke"]["designs"]
+        assert "speedup" in capsys.readouterr().out
+
+    def test_compare_ok_and_regression_exit_codes(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([*_CLI_ARGS, "--out", str(out)]) == 0
+        assert main([*_CLI_ARGS, "--compare", str(out),
+                     "--threshold", "0"]) == 0
+        baseline = json.loads(out.read_text())
+        baseline["suites"]["smoke"]["designs"]["baseline"]["sim_cycles"] = 1
+        out.write_text(json.dumps(baseline))
+        capsys.readouterr()
+        assert main([*_CLI_ARGS, "--compare", str(out),
+                     "--threshold", "0"]) == 1
+        assert "counter mismatch" in capsys.readouterr().out
+
+    def test_compare_missing_baseline_is_usage_error(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main([*_CLI_ARGS, "--compare", str(missing)]) == 2
+
+    def test_unknown_design_is_usage_error(self):
+        assert main(["bench", "--smoke", "--designs", "bogus",
+                     "--quiet"]) == 2
+
+
+# --------------------------------------------------------------------------
+# Committed baseline (slow lane).
+# --------------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_smoke_suite_matches_committed_baseline():
+    """The committed ``BENCH_8.json`` counters must stay reproducible.
+
+    Timing gates are disabled (``--threshold 0``, no ``--min-speedup``) so
+    this is machine-independent: it fails only if the simulation itself —
+    or the fast mode's equivalence — drifted from the committed baseline.
+    """
+    baseline = pathlib.Path(__file__).resolve().parent.parent / "BENCH_8.json"
+    assert main(["bench", "--smoke", "--compare", str(baseline),
+                 "--threshold", "0", "--quiet"]) == 0
