@@ -22,6 +22,7 @@ from dataclasses import replace
 from typing import List
 
 from ..core.experiment import DEFAULT_SEED, POLICY_LABELS
+from ..workloads.cli import add_engine_arguments, engine_params_from_args
 from .harness import (
     SUITES,
     BenchError,
@@ -48,6 +49,9 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         help="override per-suite trace length")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help=f"trace seed (default: {DEFAULT_SEED})")
+    # Engine selection is part of the suite identity: a non-default
+    # engine run will not compare against a synthetic baseline.
+    add_engine_arguments(parser)
     parser.add_argument("--out", default=None,
                         help="write the report here (default: "
                              f"{DEFAULT_REPORT}; '-' prints JSON to stdout "
@@ -80,9 +84,11 @@ def _parse_designs(value: str) -> List[str]:
 
 def run_bench_command(args: argparse.Namespace) -> int:
     suite_names = ["smoke"] if args.smoke else ["full", "smoke"]
+    engine_params = tuple(sorted(engine_params_from_args(args).items()))
     suites = []
     for name in suite_names:
-        params = replace(SUITES[name], seed=args.seed)
+        params = replace(SUITES[name], seed=args.seed,
+                         engine=args.engine, engine_params=engine_params)
         if args.repeats is not None:
             params = replace(params, repeats=args.repeats)
         if args.instructions is not None:

@@ -17,12 +17,12 @@ always on).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..common.errors import ReproError
 from ..core.experiment import DEFAULT_SEED, POLICY_LABELS, policy_config
 from ..core.simulator import Simulator
-from ..workloads.suite import get_workload
+from ..workloads.engine import create_engine
 from .timing import measure
 
 #: Bump when the report layout changes incompatibly; compare refuses to
@@ -46,6 +46,11 @@ class SuiteParams:
     capacity_uops: int = 2048
     max_entries_per_line: int = 2
     seed: int = DEFAULT_SEED
+    #: Workload engine the suite's trace comes from.  The default keeps
+    #: the historical path (synthetic suite workload generated and walked
+    #: with ``seed``), so committed baselines stay comparable.
+    engine: str = "synthetic"
+    engine_params: Tuple[Tuple[str, Any], ...] = ()
 
 
 #: The two standard suites.  ``full`` is the committed baseline's headline
@@ -56,8 +61,13 @@ SUITES: Dict[str, SuiteParams] = {
 }
 
 #: Identity fields that must match for two suites to be comparable.
+#: Default-engine suites omit the engine keys entirely, so reports written
+#: before engines existed compare cleanly against fresh default runs
+#: (absent == absent), while an engine run against a synthetic baseline
+#: fails the identity check as it must.
 _IDENTITY_FIELDS = ("instructions", "workload", "capacity_uops",
-                    "max_entries_per_line", "seed")
+                    "max_entries_per_line", "seed", "engine",
+                    "engine_params")
 
 #: Deterministic counters gated by exact equality on compare.
 _COUNTER_FIELDS = ("sim_instructions", "sim_cycles", "sim_uops")
@@ -71,8 +81,15 @@ def run_suite(params: SuiteParams,
         if design not in POLICY_LABELS:
             raise BenchError(f"unknown design {design!r}; "
                              f"known: {', '.join(POLICY_LABELS)}")
-    trace = get_workload(params.workload, seed=params.seed).trace(
-        params.instructions, seed=params.seed)
+    engine_params = dict(params.engine_params)
+    if params.engine == "synthetic":
+        # The pre-engine harness generated and walked the suite workload
+        # with the same seed; defaulting gen_seed to it keeps default
+        # benches bit-identical to reports from before engines existed.
+        engine_params.setdefault("gen_seed", params.seed)
+    trace = create_engine(params.engine, workload=params.workload,
+                          params=engine_params).build_trace(
+        params.instructions, params.seed)
     suite: Dict = {
         "instructions": params.instructions,
         "repeats": params.repeats,
@@ -83,6 +100,9 @@ def run_suite(params: SuiteParams,
         "seed": params.seed,
         "designs": {},
     }
+    if params.engine != "synthetic" or params.engine_params:
+        suite["engine"] = params.engine
+        suite["engine_params"] = dict(params.engine_params)
     for design in designs:
         normal_cfg = policy_config(design, params.capacity_uops,
                                    params.max_entries_per_line)

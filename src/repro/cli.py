@@ -15,6 +15,12 @@ Commands:
 - ``fuzz``           differential-oracle fuzzing of the uop cache designs
 - ``serve``          run the crash-safe simulation job service (HTTP/JSON)
 - ``chaos``          fault-injection harness proving crash-safe recovery
+- ``trace-pack``     pack an engine-built trace into a .uoptrace file
+- ``trace-info``     integrity-check and summarize a packed trace file
+
+Workload-producing commands take ``--engine`` / ``--engine-params`` to
+select among the registered workload engines (synthetic, replay, phased,
+adversarial); see ``repro.workloads.engine``.
 """
 
 from __future__ import annotations
@@ -55,6 +61,14 @@ from .telemetry import (
     ChromeTraceSink,
     JsonlSink,
     TelemetryHub,
+)
+from .workloads.cli import (
+    add_engine_arguments,
+    add_trace_info_arguments,
+    add_trace_pack_arguments,
+    engine_params_from_args,
+    run_trace_info,
+    run_trace_pack,
 )
 from .workloads.suite import (
     PAPER_BRANCH_MPKI,
@@ -125,9 +139,17 @@ def _finish_sweep(sweep) -> int:
     return 0 if report.ok else 1
 
 
+def _engine_trace(args, workload: str):
+    return workload_trace(workload, args.instructions, seed=args.seed,
+                          engine=args.engine,
+                          engine_params=engine_params_from_args(args))
+
+
 def _cmd_run(args) -> int:
-    trace = workload_trace(args.workload, args.instructions, seed=args.seed)
+    trace = _engine_trace(args, args.workload)
     config = _build_config(args)
+    if args.fast_mode:
+        config = config.with_fast_mode()
     result = Simulator(trace, config, args.design).run()
     baseline = None
     if args.compare_baseline and args.design != "baseline":
@@ -151,7 +173,7 @@ def _parse_event_categories(value: str) -> Sequence[str]:
 
 def _cmd_trace(args) -> int:
     categories = _parse_event_categories(args.events)
-    trace = workload_trace(args.workload, args.instructions, seed=args.seed)
+    trace = _engine_trace(args, args.workload)
     config = dataclasses.replace(
         _build_config(args),
         telemetry=TelemetryConfig(enabled=True, events=tuple(categories),
@@ -174,8 +196,7 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_smt(args) -> int:
-    traces = [workload_trace(name, args.instructions, seed=args.seed)
-              for name in args.workloads]
+    traces = [_engine_trace(args, name) for name in args.workloads]
     config = _build_config(args)
     result = simulate_smt(traces, config, args.design)
     print(f"SMT co-run of {', '.join(args.workloads)} "
@@ -206,6 +227,7 @@ def _cmd_sweep_capacity(args) -> int:
         warmup_instructions=args.warmup,
         seed=args.seed, runner=_runner_from_args(args),
         telemetry=args.telemetry,
+        engine=args.engine, engine_params=engine_params_from_args(args),
         progress=(lambda line: print("  " + line, file=sys.stderr))
         if args.verbose else None)
     print(render_table(
@@ -233,6 +255,7 @@ def _cmd_sweep_policy(args) -> int:
         warmup_instructions=args.warmup,
         seed=args.seed, runner=_runner_from_args(args),
         telemetry=args.telemetry,
+        engine=args.engine, engine_params=engine_params_from_args(args),
         progress=(lambda line: print("  " + line, file=sys.stderr))
         if args.verbose else None)
     improvement = sweep.improvement_percent(lambda r: r.upc, "baseline",
@@ -289,14 +312,19 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="simulate one workload under one design")
     run_parser.add_argument("workload", choices=list(WORKLOAD_NAMES))
     _add_common(run_parser)
+    add_engine_arguments(run_parser)
     run_parser.add_argument("--compare-baseline", action="store_true",
                             help="also run the baseline and show deltas")
+    run_parser.add_argument("--fast-mode", action="store_true",
+                            help="counters-only fast mode (bit-identical "
+                                 "counters, no cycle accounting detail)")
     run_parser.set_defaults(func=_cmd_run)
 
     trace_parser = commands.add_parser(
         "trace", help="run with telemetry, export Chrome/JSONL trace")
     trace_parser.add_argument("workload", choices=list(WORKLOAD_NAMES))
     _add_common(trace_parser)
+    add_engine_arguments(trace_parser)
     trace_parser.add_argument("--out", default="trace.json",
                               help="output path (default: trace.json)")
     trace_parser.add_argument("--format", default="chrome",
@@ -317,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     smt_parser.add_argument("workloads", nargs="+",
                             choices=list(WORKLOAD_NAMES))
     _add_common(smt_parser)
+    add_engine_arguments(smt_parser)
     smt_parser.set_defaults(func=_cmd_smt)
 
     capacity_parser = commands.add_parser(
@@ -328,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     capacity_parser.add_argument("--verbose", action="store_true")
     _add_seed(capacity_parser)
     _add_runner_flags(capacity_parser)
+    add_engine_arguments(capacity_parser)
     capacity_parser.set_defaults(func=_cmd_sweep_capacity)
 
     policy_parser = commands.add_parser(
@@ -343,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="render bars instead of a table")
     _add_seed(policy_parser)
     _add_runner_flags(policy_parser)
+    add_engine_arguments(policy_parser)
     policy_parser.set_defaults(func=_cmd_sweep_policy)
 
     table1_parser = commands.add_parser(
@@ -390,6 +421,18 @@ def build_parser() -> argparse.ArgumentParser:
                       "byte-identical recovery")
     add_chaos_arguments(chaos_parser)
     chaos_parser.set_defaults(func=run_chaos_command)
+
+    pack_parser = commands.add_parser(
+        "trace-pack", help="pack an engine-built trace into a "
+                           "compact .uoptrace file")
+    add_trace_pack_arguments(pack_parser)
+    pack_parser.set_defaults(func=run_trace_pack)
+
+    info_parser = commands.add_parser(
+        "trace-info", help="integrity-check and summarize a packed "
+                           ".uoptrace file")
+    add_trace_info_arguments(info_parser)
+    info_parser.set_defaults(func=run_trace_info)
     return parser
 
 

@@ -30,7 +30,8 @@ from ..common.statistics import arithmetic_mean, geometric_mean
 from ..runner.executor import RunnerConfig, SweepReport, SweepRunner
 from ..runner.faults import FaultPlan
 from ..runner.job import SweepJob, build_capacity_jobs, build_policy_jobs
-from ..workloads.suite import WORKLOAD_NAMES, get_workload
+from ..workloads.engine import create_engine
+from ..workloads.suite import WORKLOAD_NAMES
 from ..workloads.trace import Trace
 from .metrics import SimulationResult
 from .simulator import Simulator
@@ -72,7 +73,8 @@ def policy_config(label: str, capacity_uops: int = 2048,
                              max_entries_per_line=max_entries_per_line)
 
 
-_trace_cache: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
+_TraceKey = Tuple[str, int, int, str, Tuple[Tuple[str, object], ...]]
+_trace_cache: "OrderedDict[_TraceKey, Trace]" = OrderedDict()
 
 #: Bound on memoised traces (LRU eviction).  Traces are the largest objects a
 #: sweep session holds; without a bound, a long session sweeping many
@@ -81,12 +83,28 @@ _TRACE_CACHE_MAX_ENTRIES = 32
 
 
 def workload_trace(name: str, num_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
-                   seed: int = DEFAULT_SEED) -> Trace:
-    """Build (and memoise, LRU-bounded) the dynamic trace for a workload."""
-    key = (name, num_instructions, seed)
+                   seed: int = DEFAULT_SEED,
+                   engine: str = "synthetic",
+                   engine_params: Optional[Mapping[str, object]] = None
+                   ) -> Trace:
+    """Build (and memoise, LRU-bounded) the dynamic trace for a workload.
+
+    ``engine`` selects a registered workload engine
+    (:mod:`repro.workloads.engine`); ``engine_params`` are its parameters.
+    The default (``synthetic``, no params) is bit-identical to the
+    pre-registry ``get_workload(name).trace(...)`` path.  ``replay``
+    traces are never cached: the backing file can change between calls.
+    """
+    params = dict(engine_params or {})
+    if engine == "replay":
+        return create_engine(engine, workload=name, params=params) \
+            .build_trace(num_instructions, seed)
+    key = (name, num_instructions, seed, engine,
+           tuple(sorted(params.items())))
     trace = _trace_cache.get(key)
     if trace is None:
-        trace = get_workload(name).trace(num_instructions, seed=seed)
+        trace = create_engine(engine, workload=name, params=params) \
+            .build_trace(num_instructions, seed)
         _trace_cache[key] = trace
         while len(_trace_cache) > _TRACE_CACHE_MAX_ENTRIES:
             _trace_cache.popitem(last=False)
@@ -207,7 +225,9 @@ def _run_jobs(jobs: Sequence[SweepJob],
         # Pre-warm the trace cache so forked workers inherit built traces
         # instead of regenerating them per process.
         for job in jobs:
-            workload_trace(job.workload, job.num_instructions, seed=job.seed)
+            workload_trace(job.workload, job.num_instructions, seed=job.seed,
+                           engine=job.engine,
+                           engine_params=dict(job.engine_params))
     wrapped = (lambda job, result: progress(progress_line(result))) \
         if progress else None
     executor = SweepRunner(runner, fault_plan=fault_plan, progress=wrapped)
@@ -227,17 +247,21 @@ def run_capacity_sweep(
         seed: int = DEFAULT_SEED,
         runner: Optional[RunnerConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
-        telemetry: bool = False) -> SweepResult:
+        telemetry: bool = False,
+        engine: str = "synthetic",
+        engine_params: Optional[Mapping[str, object]] = None) -> SweepResult:
     """Fig. 3/4: baseline uop cache at each capacity, per workload.
 
     ``runner`` selects the execution policy (parallelism, timeouts, retries,
     checkpoint/resume); the default is the serial in-process degenerate case.
     ``telemetry`` enables per-kind event counting in every job, journaled
-    through ``SimulationResult.telemetry_events``.
+    through ``SimulationResult.telemetry_events``.  ``engine`` selects the
+    workload engine that produces every trace of the sweep.
     """
     jobs = build_capacity_jobs(workloads, capacities, num_instructions,
                                warmup_instructions, seed,
-                               telemetry=telemetry)
+                               telemetry=telemetry, engine=engine,
+                               engine_params=engine_params)
     return _run_jobs(
         jobs, runner, fault_plan, progress,
         lambda r: f"{r.workload} {r.config_label}: upc={r.upc:.3f}")
@@ -254,12 +278,15 @@ def run_policy_sweep(
         seed: int = DEFAULT_SEED,
         runner: Optional[RunnerConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
-        telemetry: bool = False) -> SweepResult:
+        telemetry: bool = False,
+        engine: str = "synthetic",
+        engine_params: Optional[Mapping[str, object]] = None) -> SweepResult:
     """Figs. 15-22: the paper's five designs at a fixed capacity."""
     jobs = build_policy_jobs(workloads, labels, capacity_uops,
                              max_entries_per_line, num_instructions,
                              warmup_instructions, seed,
-                             telemetry=telemetry)
+                             telemetry=telemetry, engine=engine,
+                             engine_params=engine_params)
     return _run_jobs(
         jobs, runner, fault_plan, progress,
         lambda r: (f"{r.workload} {r.config_label}: upc={r.upc:.3f} "

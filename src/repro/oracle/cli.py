@@ -15,6 +15,8 @@ from typing import List
 
 from ..core.experiment import DEFAULT_SEED, POLICY_LABELS
 from ..common.errors import OracleError
+from ..workloads.cli import engine_params_from_args
+from ..workloads.engine import engine_names
 from .fuzzer import WorkloadFuzzer, replay_repro
 
 
@@ -36,6 +38,17 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out-dir", default="tests/repros",
                         help="where minimized repros are written "
                              "(default: tests/repros)")
+    # Replay is excluded: it replays one fixed trace file, so there is no
+    # parameter space to fuzz.
+    parser.add_argument("--engine", default="synthetic",
+                        choices=[name for name in engine_names()
+                                 if name != "replay"],
+                        help="fuzz this workload engine's parameter space "
+                             "instead of the synthetic profile space "
+                             "(default: synthetic)")
+    parser.add_argument("--engine-params", default="", metavar="JSON",
+                        help="base engine parameters as a JSON object; "
+                             "the mutator jitters them per input")
     parser.add_argument("--fast-mode", action="store_true",
                         help="fuzz the counters-only fast mode against the "
                              "normal serve loop (full-result equality) "
@@ -77,7 +90,9 @@ def run_fuzz(args: argparse.Namespace) -> int:
         max_seconds=args.max_seconds,
         max_instructions=args.instructions,
         out_dir=args.out_dir,
-        fast_mode=args.fast_mode)
+        fast_mode=args.fast_mode,
+        engine=args.engine,
+        engine_params=engine_params_from_args(args))
     progress = None if args.quiet else \
         (lambda line: print("  " + line, file=sys.stderr))
     result = fuzzer.run(progress=progress)

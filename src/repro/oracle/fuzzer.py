@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..common.errors import OracleError, WorkloadError
 from ..core.experiment import POLICY_LABELS, policy_config
+from ..workloads.engine import create_engine
 from ..workloads.generator import WorkloadProfile, generate_workload
 from .runner import DiffReport, DifferentialRunner, diff_fast_mode
 
@@ -61,6 +62,36 @@ _DEFAULT_PARAMS: Dict[str, Any] = {
     "indirect_stickiness": 24,
 }
 
+#: Per-engine parameter menus the mutator samples when fuzzing a
+#: registered workload engine instead of the synthetic profile space.
+#: Every combination drawn from a menu satisfies that engine's
+#: ``_validate`` (e.g. every hot_fraction here <= every cold_fraction).
+_PHASED_MENU: Dict[str, Tuple[Any, ...]] = {
+    "gen_seed": (1, 2, 3, 5, 8),
+    "segment_length": (200, 500, 1000, 4000),
+    "hot_fraction": (0.05, 0.12, 0.3),
+    "cold_fraction": (0.5, 0.75, 1.0),
+}
+
+_ENGINE_PARAM_MENUS: Dict[str, Dict[str, Tuple[Any, ...]]] = {
+    "phased-static": dict(_PHASED_MENU),
+    "phased-dynamic": dict(_PHASED_MENU),
+    "oscillating": dict(_PHASED_MENU),
+    "adv-fragment": {
+        "num_blocks": (16, 64, 160, 320, 640),
+        "cond_every": (1, 2, 4, 8, 16),
+    },
+    "adv-smc": {
+        "lines": (2, 4, 6, 12),
+        "back_edge_bias": (0.4, 0.65, 0.9),
+        "code_store_fraction": (0.25, 0.6, 0.9),
+    },
+    "adv-pwconflict": {
+        "num_functions": (4, 16, 48, 96),
+        "stride": (64, 2048, 4096),
+    },
+}
+
 
 @dataclass(frozen=True)
 class FuzzInput:
@@ -79,6 +110,15 @@ class FuzzInput:
     #: equality on the production simulator) instead of against the
     #: lockstep reference front-end.
     fast_mode: bool = False
+    #: Workload engine the input runs.  ``synthetic`` keeps the historical
+    #: path (profile_params drive :func:`generate_workload` directly, so
+    #: the fuzzer can explore the full profile space); any other name
+    #: routes through the engine registry and ``profile_params`` is unused.
+    engine: str = "synthetic"
+    engine_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Suite workload non-synthetic engines build on (phased engines read
+    #: it; the adversarial engines construct their own programs).
+    workload: str = "bm-x64"
 
     def params(self) -> Dict[str, Any]:
         return dict(self.profile_params)
@@ -102,6 +142,9 @@ class FuzzInput:
             "smc_interval": self.smc_interval,
             "smc_seed": self.smc_seed,
             "fast_mode": self.fast_mode,
+            "engine": self.engine,
+            "engine_params": dict(self.engine_params),
+            "workload": self.workload,
         }
 
     @classmethod
@@ -121,6 +164,10 @@ class FuzzInput:
             smc_interval=int(data.get("smc_interval", 0)),
             smc_seed=int(data.get("smc_seed", 0)),
             fast_mode=bool(data.get("fast_mode", False)),
+            engine=str(data.get("engine", "synthetic")),
+            engine_params=tuple(sorted(
+                dict(data.get("engine_params", {})).items())),
+            workload=str(data.get("workload", "bm-x64")),
         )
 
 
@@ -136,10 +183,17 @@ def run_input(fuzz_input: FuzzInput,
         raise OracleError(
             f"unknown design {fuzz_input.design!r}; "
             f"known: {', '.join(POLICY_LABELS)}")
-    profile = build_profile(fuzz_input)
-    workload = generate_workload(profile, seed=fuzz_input.gen_seed)
-    trace = workload.trace(fuzz_input.num_instructions,
-                           seed=fuzz_input.walk_seed)
+    if fuzz_input.engine != "synthetic":
+        engine = create_engine(fuzz_input.engine,
+                               workload=fuzz_input.workload,
+                               params=dict(fuzz_input.engine_params))
+        trace = engine.build_trace(fuzz_input.num_instructions,
+                                   fuzz_input.walk_seed)
+    else:
+        profile = build_profile(fuzz_input)
+        workload = generate_workload(profile, seed=fuzz_input.gen_seed)
+        trace = workload.trace(fuzz_input.num_instructions,
+                               seed=fuzz_input.walk_seed)
     config = policy_config(fuzz_input.design, fuzz_input.capacity_uops,
                            fuzz_input.max_entries_per_line)
     if fuzz_input.fast_mode:
@@ -204,14 +258,34 @@ def _mutate_params(rng: random.Random,
     return out
 
 
+def _mutate_engine_params(rng: random.Random, engine: str,
+                          params: Dict[str, Any]) -> Dict[str, Any]:
+    """Jitter 1-2 engine parameters from the engine's menu."""
+    menu = _ENGINE_PARAM_MENUS.get(engine, {})
+    out = dict(params)
+    if not menu:
+        return out
+    for _ in range(rng.randint(1, 2)):
+        key = rng.choice(sorted(menu))
+        out[key] = rng.choice(menu[key])
+    return out
+
+
 def mutate(rng: random.Random, parent: FuzzInput, design: str,
            max_instructions: int = 1000) -> FuzzInput:
     """Derive a new input from ``parent`` for the given design."""
-    params = _mutate_params(rng, parent.params())
+    if parent.engine != "synthetic":
+        engine_params = _mutate_engine_params(
+            rng, parent.engine, dict(parent.engine_params))
+        profile_params = parent.profile_params
+    else:
+        engine_params = {}
+        profile_params = tuple(sorted(
+            _mutate_params(rng, parent.params()).items()))
     smc_interval = rng.choice((0, 0, 16, 48, 128))
     return FuzzInput(
         design=design,
-        profile_params=tuple(sorted(params.items())),
+        profile_params=profile_params,
         gen_seed=rng.randint(1, 1 << 16),
         walk_seed=rng.randint(1, 1 << 16),
         num_instructions=rng.randint(100, max_instructions),
@@ -220,6 +294,9 @@ def mutate(rng: random.Random, parent: FuzzInput, design: str,
         smc_interval=0 if parent.fast_mode else smc_interval,
         smc_seed=rng.randint(0, 1 << 16),
         fast_mode=parent.fast_mode,
+        engine=parent.engine,
+        engine_params=tuple(sorted(engine_params.items())),
+        workload=parent.workload,
     )
 
 
@@ -266,24 +343,42 @@ def minimize(fuzz_input: FuzzInput,
     """Shrink a diverging input; returns the smallest found + its report."""
     budget = [max_runs]
     best_input, best_report = _shrink_instructions(fuzz_input, budget)
-    for key, candidates in _SHRINK_CANDIDATES:
-        for value in candidates:
+    if best_input.engine != "synthetic":
+        # Engine inputs have no profile to simplify; instead try dropping
+        # each explicit engine parameter back to its default.
+        for name, _ in best_input.engine_params:
             if budget[0] <= 0:
                 break
-            params = best_input.params()
-            if params.get(key) == value:
-                continue
-            params[key] = value
+            params = dict(best_input.engine_params)
+            del params[name]
             budget[0] -= 1
             try:
-                candidate = best_input.with_params(params)
-                build_profile(candidate)
+                candidate = best_input.with_params(
+                    best_input.params(), engine_params=params)
                 candidate_report = run_input(candidate)
             except WorkloadError:
                 continue
             if candidate_report.divergence is not None:
                 best_input, best_report = candidate, candidate_report
-                break
+    else:
+        for key, candidates in _SHRINK_CANDIDATES:
+            for value in candidates:
+                if budget[0] <= 0:
+                    break
+                params = best_input.params()
+                if params.get(key) == value:
+                    continue
+                params[key] = value
+                budget[0] -= 1
+                try:
+                    candidate = best_input.with_params(params)
+                    build_profile(candidate)
+                    candidate_report = run_input(candidate)
+                except WorkloadError:
+                    continue
+                if candidate_report.divergence is not None:
+                    best_input, best_report = candidate, candidate_report
+                    break
     if budget[0] > 0:
         best_input, best_report = _shrink_instructions(best_input, budget)
     return best_input, best_report
@@ -355,7 +450,10 @@ class WorkloadFuzzer:
                  max_instructions: int = 1000,
                  out_dir: Union[str, Path] = "tests/repros",
                  minimize_runs: int = 80,
-                 fast_mode: bool = False) -> None:
+                 fast_mode: bool = False,
+                 engine: str = "synthetic",
+                 engine_params: Optional[Dict[str, Any]] = None,
+                 workload: str = "bm-x64") -> None:
         for design in designs:
             if design not in POLICY_LABELS:
                 raise OracleError(
@@ -363,6 +461,18 @@ class WorkloadFuzzer:
                     f"known: {', '.join(POLICY_LABELS)}")
         if not designs:
             raise OracleError("fuzzing needs at least one design")
+        if engine == "replay":
+            raise OracleError(
+                "the replay engine replays a fixed trace file and cannot "
+                "be fuzzed; choose a generative engine")
+        if engine != "synthetic":
+            try:
+                # Validates the engine name and the base parameters
+                # before the fuzz loop starts mutating them.
+                create_engine(engine, workload=workload,
+                              params=dict(engine_params or {}))
+            except WorkloadError as error:
+                raise OracleError(str(error)) from error
         self.designs = list(designs)
         self.seed = seed
         self.budget = budget
@@ -371,11 +481,20 @@ class WorkloadFuzzer:
         self.out_dir = Path(out_dir)
         self.minimize_runs = minimize_runs
         self.fast_mode = fast_mode
+        self.engine = engine
+        self.engine_params = dict(engine_params or {})
+        self.workload = workload
 
     def run(self, progress=None) -> FuzzResult:
         rng = random.Random(self.seed)
-        corpus: List[Dict[str, Any]] = [dict(seed_params)
-                                        for seed_params in _CORPUS_SEEDS]
+        # For the synthetic engine the corpus holds profile-parameter
+        # dicts; for a registered engine it holds engine-parameter dicts
+        # (seeded with the caller's base parameters).
+        if self.engine == "synthetic":
+            corpus: List[Dict[str, Any]] = [dict(seed_params)
+                                            for seed_params in _CORPUS_SEEDS]
+        else:
+            corpus = [dict(self.engine_params)]
         session = FuzzResult()
         started = time.monotonic()
 
@@ -385,12 +504,20 @@ class WorkloadFuzzer:
                 break
             design = self.designs[iteration % len(self.designs)]
             parent_params = rng.choice(corpus)
-            parent = FuzzInput(design=design, profile_params=tuple(
-                sorted(parent_params.items())), fast_mode=self.fast_mode)
+            if self.engine == "synthetic":
+                parent = FuzzInput(design=design, profile_params=tuple(
+                    sorted(parent_params.items())), fast_mode=self.fast_mode)
+            else:
+                parent = FuzzInput(
+                    design=design, profile_params=(),
+                    fast_mode=self.fast_mode, engine=self.engine,
+                    engine_params=tuple(sorted(parent_params.items())),
+                    workload=self.workload)
             candidate = mutate(rng, parent, design,
                                max_instructions=self.max_instructions)
             try:
-                build_profile(candidate)
+                if self.engine == "synthetic":
+                    build_profile(candidate)
                 report = run_input(candidate)
             except WorkloadError:
                 # Valid-looking parameters can still fail at generation
@@ -403,7 +530,9 @@ class WorkloadFuzzer:
             novel = design_coverage - session.coverage
             if novel:
                 session.coverage |= design_coverage
-                corpus.append(candidate.params())
+                corpus.append(candidate.params() if
+                              self.engine == "synthetic"
+                              else dict(candidate.engine_params))
             if progress is not None and \
                     (novel or session.runs % 25 == 0):
                 progress(f"run {session.runs}/{self.budget} "
@@ -416,8 +545,10 @@ class WorkloadFuzzer:
                 session.minimized_input = minimized
                 session.divergence = min_report
                 mode = "fast-" if self.fast_mode else ""
+                tag = "" if self.engine == "synthetic" else \
+                    f"{self.engine}-"
                 session.repro_path = write_repro(
-                    self.out_dir / f"divergence-{mode}{design}-"
+                    self.out_dir / f"divergence-{mode}{tag}{design}-"
                     f"seed{self.seed}-run{session.runs}.json",
                     minimized, min_report)
                 break

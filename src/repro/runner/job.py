@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 from ..common.config import TelemetryConfig, baseline_config
 from ..common.errors import RunnerError
@@ -38,11 +38,24 @@ class SweepJob:
     #: Count telemetry events during the run; the per-kind totals land in
     #: ``SimulationResult.telemetry_events`` and hence the checkpoint journal.
     telemetry: bool = False
+    #: Workload engine producing the trace (see repro.workloads.engine) and
+    #: its parameters as sorted (name, value) pairs — a tuple so the job
+    #: stays hashable, picklable, and stable in checkpoint journals.
+    engine: str = "synthetic"
+    engine_params: Tuple[Tuple[str, Any], ...] = ()
 
     @property
     def job_id(self) -> str:
-        """Stable identity used for checkpointing and failure reports."""
-        return f"{self.workload}/{self.label}"
+        """Stable identity used for checkpointing and failure reports.
+
+        Synthetic jobs keep the historical ``workload/label`` shape so old
+        checkpoint journals still resume; other engines are suffixed so a
+        checkpoint dir shared across engines never aliases cells.
+        """
+        base = f"{self.workload}/{self.label}"
+        if self.engine == "synthetic" and not self.engine_params:
+            return base
+        return f"{base}@{self.engine}"
 
 
 def capacity_label(capacity_uops: int) -> str:
@@ -50,18 +63,29 @@ def capacity_label(capacity_uops: int) -> str:
     return f"OC_{capacity_uops // 1024}K"
 
 
+def engine_params_tuple(engine_params: Optional[Mapping[str, Any]]
+                        ) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical (sorted, hashable) form of an engine parameter mapping."""
+    return tuple(sorted((engine_params or {}).items()))
+
+
 def build_capacity_jobs(workloads: Sequence[str],
                         capacities: Sequence[int],
                         num_instructions: int,
                         warmup_instructions: int = 0,
                         seed: int = 7,
-                        telemetry: bool = False) -> List[SweepJob]:
+                        telemetry: bool = False,
+                        engine: str = "synthetic",
+                        engine_params: Optional[Mapping[str, Any]] = None
+                        ) -> List[SweepJob]:
     """Jobs of a Fig. 3/4 capacity sweep, in canonical (workload-major) order."""
+    params = engine_params_tuple(engine_params)
     return [SweepJob(workload=name, label=capacity_label(capacity),
                      kind=KIND_CAPACITY, capacity_uops=capacity,
                      num_instructions=num_instructions,
                      warmup_instructions=warmup_instructions, seed=seed,
-                     telemetry=telemetry)
+                     telemetry=telemetry, engine=engine,
+                     engine_params=params)
             for name in workloads for capacity in capacities]
 
 
@@ -72,14 +96,19 @@ def build_policy_jobs(workloads: Sequence[str],
                       num_instructions: int,
                       warmup_instructions: int = 0,
                       seed: int = 7,
-                      telemetry: bool = False) -> List[SweepJob]:
+                      telemetry: bool = False,
+                      engine: str = "synthetic",
+                      engine_params: Optional[Mapping[str, Any]] = None
+                      ) -> List[SweepJob]:
     """Jobs of a Fig. 15-22 policy sweep, in canonical order."""
+    params = engine_params_tuple(engine_params)
     return [SweepJob(workload=name, label=label, kind=KIND_POLICY,
                      capacity_uops=capacity_uops,
                      max_entries_per_line=max_entries_per_line,
                      num_instructions=num_instructions,
                      warmup_instructions=warmup_instructions, seed=seed,
-                     telemetry=telemetry)
+                     telemetry=telemetry, engine=engine,
+                     engine_params=params)
             for name in workloads for label in labels]
 
 
@@ -107,5 +136,7 @@ def execute_job(job: SweepJob, strict: bool = True) -> SimulationResult:
     if job.telemetry:
         config = dataclasses.replace(
             config, telemetry=TelemetryConfig(enabled=True))
-    trace = workload_trace(job.workload, job.num_instructions, seed=job.seed)
+    trace = workload_trace(job.workload, job.num_instructions, seed=job.seed,
+                           engine=job.engine,
+                           engine_params=dict(job.engine_params))
     return Simulator(trace, config, job.label, strict=strict).run()

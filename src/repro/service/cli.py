@@ -14,6 +14,7 @@ import sys
 import tempfile
 from typing import List
 
+from ..workloads.cli import add_engine_arguments, engine_params_from_args
 from .chaos import ChaosSpec, run_chaos
 from .protocol import JobSpec
 from .server import ServiceServer, SimulationService
@@ -46,6 +47,9 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: 300)")
     parser.add_argument("--seed", type=int, default=7,
                         help="backoff jitter seed (default: 7)")
+    # Default engine injected into job specs that omit one; a spec's own
+    # "engine" field always wins.
+    add_engine_arguments(parser)
 
 
 def run_serve(args: argparse.Namespace) -> int:
@@ -54,7 +58,9 @@ def run_serve(args: argparse.Namespace) -> int:
     service = SimulationService(args.store_dir,
                                 checkpoint_dir=args.checkpoint_dir,
                                 pool_config=config)
-    server = ServiceServer(service, host=args.host, port=args.port)
+    server = ServiceServer(service, host=args.host, port=args.port,
+                           default_engine=args.engine,
+                           default_engine_params=engine_params_from_args(args))
 
     async def _serve() -> None:
         await server.start()

@@ -18,13 +18,16 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Tuple
 
-from ..common.errors import ProtocolError
+from ..common.errors import ProtocolError, WorkloadError
 from ..common.integrity import canonical_json
 from ..core.metrics import SimulationResult
 
-KEY_VERSION = 1
+# v2: workload-engine selection joined the spec (engine + engine_params);
+# bumping retires every v1 key so cached results can never alias across
+# the field change.
+KEY_VERSION = 2
 
 #: Designs a spec may name (mirrors ``repro.core.experiment.POLICY_LABELS``;
 #: imported lazily there to keep this module import-light for workers).
@@ -42,8 +45,14 @@ class JobSpec:
     num_instructions: int = 120_000
     warmup_instructions: int = 0
     seed: int = 7
+    #: Workload engine and its parameters.  Parameters are normalized to a
+    #: sorted tuple of (name, value) pairs so the spec stays hashable and
+    #: two spellings of the same params produce the same content key.
+    engine: str = "synthetic"
+    engine_params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
+        from ..workloads.engine import create_engine
         from ..workloads.suite import WORKLOAD_NAMES
         if self.workload not in WORKLOAD_NAMES:
             raise ProtocolError(
@@ -59,6 +68,24 @@ class JobSpec:
                 raise ProtocolError(f"{name} must be positive")
         if self.warmup_instructions < 0:
             raise ProtocolError("warmup_instructions must be >= 0")
+        params = self.engine_params
+        if isinstance(params, Mapping):
+            params = tuple(params.items())
+        try:
+            normalized = tuple(sorted((str(name), value)
+                                      for name, value in params))
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(
+                f"engine_params must be a mapping or (name, value) "
+                f"pairs: {error}") from error
+        object.__setattr__(self, "engine_params", normalized)
+        try:
+            # Instantiating validates the engine name and its parameter
+            # names/types/ranges without running anything.
+            create_engine(self.engine, workload=self.workload,
+                          params=dict(normalized))
+        except WorkloadError as error:
+            raise ProtocolError(str(error)) from error
 
     def canonical(self) -> Dict[str, Any]:
         """The exact fields the content key hashes, version included."""
@@ -75,8 +102,10 @@ class JobSpec:
         return digest.hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
-        return {spec_field.name: getattr(self, spec_field.name)
-                for spec_field in fields(self)}
+        payload = {spec_field.name: getattr(self, spec_field.name)
+                   for spec_field in fields(self)}
+        payload["engine_params"] = dict(self.engine_params)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
@@ -100,9 +129,22 @@ class JobSpec:
                                 "'workload'")
         kwargs: Dict[str, Any] = {}
         for name, value in data.items():
-            if name == "workload" or name == "design":
+            if name in ("workload", "design", "engine"):
                 if not isinstance(value, str):
                     raise ProtocolError(f"field {name!r} must be a string")
+            elif name == "engine_params":
+                if not isinstance(value, Mapping):
+                    raise ProtocolError(
+                        "field 'engine_params' must be an object")
+                for param, param_value in value.items():
+                    if not isinstance(param, str):
+                        raise ProtocolError(
+                            "engine_params keys must be strings")
+                    if isinstance(param_value, bool) or not isinstance(
+                            param_value, (str, int, float)):
+                        raise ProtocolError(
+                            f"engine_params[{param!r}] must be a string "
+                            "or number")
             elif not isinstance(value, int) or isinstance(value, bool):
                 raise ProtocolError(f"field {name!r} must be an integer")
             kwargs[name] = value
@@ -127,5 +169,6 @@ def execute_spec(spec: JobSpec, strict: bool = True) -> SimulationResult:
     config = _dataclasses.replace(
         config, warmup_instructions=spec.warmup_instructions)
     trace = workload_trace(spec.workload, spec.num_instructions,
-                           seed=spec.seed)
+                           seed=spec.seed, engine=spec.engine,
+                           engine_params=dict(spec.engine_params))
     return Simulator(trace, config, spec.design, strict=strict).run()

@@ -29,7 +29,7 @@ import asyncio
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..common.errors import ProtocolError, ServiceError
 from ..runner.checkpoint import CheckpointJournal
@@ -199,10 +199,18 @@ class ServiceServer:
     """
 
     def __init__(self, service: SimulationService,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 default_engine: str = "synthetic",
+                 default_engine_params: Optional[Mapping[str, Any]] = None
+                 ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: Engine injected into job specs that do not name one themselves
+        #: (``repro serve --engine ...``).  A spec's own "engine" field
+        #: always wins, so mixed-engine batches still work.
+        self.default_engine = default_engine
+        self.default_engine_params = dict(default_engine_params or {})
         self._server: Optional[asyncio.AbstractServer] = None
         self._batch_lock: Optional[asyncio.Lock] = None
 
@@ -302,12 +310,14 @@ class ServiceServer:
                 return 404, {"error": f"no result for key {key!r}"}
             return 200, {"key": key, "result": payload}
         if target == "/submit" and method == "POST":
-            specs = _parse_jobs(body)
+            specs = _parse_jobs(body, self.default_engine,
+                                self.default_engine_params)
             jobs = await loop.run_in_executor(None, self._dry_lookup,
                                               specs)
             return 200, {"jobs": jobs}
         if target == "/run" and method == "POST":
-            specs = _parse_jobs(body)
+            specs = _parse_jobs(body, self.default_engine,
+                                self.default_engine_params)
             assert self._batch_lock is not None
             async with self._batch_lock:     # the pool is single-batch
                 batch = await loop.run_in_executor(
@@ -332,7 +342,9 @@ class ServiceServer:
                 for spec in specs]
 
 
-def _parse_jobs(body: bytes) -> List[JobSpec]:
+def _parse_jobs(body: bytes, default_engine: str = "synthetic",
+                default_engine_params: Optional[Mapping[str, Any]] = None
+                ) -> List[JobSpec]:
     try:
         payload = json.loads(body or b"null")
     except json.JSONDecodeError as error:
@@ -342,4 +354,13 @@ def _parse_jobs(body: bytes) -> List[JobSpec]:
     jobs = payload["jobs"]
     if not isinstance(jobs, list) or not jobs:
         raise ProtocolError('"jobs" must be a non-empty list')
-    return [JobSpec.from_dict(item) for item in jobs]
+    specs: List[JobSpec] = []
+    for item in jobs:
+        if isinstance(item, dict) and "engine" not in item and \
+                default_engine != "synthetic":
+            item = dict(item)
+            item["engine"] = default_engine
+            if default_engine_params and "engine_params" not in item:
+                item["engine_params"] = dict(default_engine_params)
+        specs.append(JobSpec.from_dict(item))
+    return specs

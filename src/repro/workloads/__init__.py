@@ -1,5 +1,12 @@
-"""Synthetic workloads: program images, CFG generation, dynamic traces."""
+"""Workloads: program images, CFG generation, engines, dynamic traces."""
 
+from .engine import (
+    SyntheticMarkovEngine,
+    TraceReplayEngine,
+    WorkloadEngine,
+    create_engine,
+    engine_names,
+)
 from .generator import (
     BiasedBehavior,
     IndirectBehavior,
@@ -21,6 +28,7 @@ from .suite import (
     get_workload,
 )
 from .trace import DynamicInst, Trace, TraceBranchStats
+from .tracefile import pack_trace, trace_info, unpack_trace
 
 __all__ = [
     "BasicBlock",
@@ -32,19 +40,27 @@ __all__ = [
     "PAPER_BRANCH_MPKI",
     "Program",
     "SUITE_GROUPS",
+    "SyntheticMarkovEngine",
     "Trace",
     "TraceBranchStats",
+    "TraceReplayEngine",
     "WORKLOAD_NAMES",
     "WORKLOAD_PROFILES",
     "Workload",
+    "WorkloadEngine",
     "WorkloadGenerator",
     "WorkloadProfile",
     "clear_workload_cache",
+    "create_engine",
+    "engine_names",
     "generate_workload",
     "get_profile",
     "get_workload",
     "load_trace",
     "load_workload",
+    "pack_trace",
     "save_trace",
     "save_workload",
+    "trace_info",
+    "unpack_trace",
 ]

@@ -1,0 +1,340 @@
+"""Adversarial workload engines: worst cases by construction.
+
+The synthetic generator aims for *realistic* code; these engines aim for
+*maximally hostile* code, each targeting one weakness the paper's designs
+are supposed to mitigate:
+
+- ``adv-fragment`` — uop-cache **fragmentation**.  Hundreds of tiny basic
+  blocks, each starting in the last few bytes of a 64-byte I-cache line
+  with a terminator that straddles into the next line, chained in a
+  seeded Hamiltonian cycle.  Every executed region costs two cache lines
+  for a handful of uops, so entry capacity is wasted as fast as the
+  geometry allows, and the straddling terminators are exactly the spans
+  CLASP exists to merge.
+- ``adv-smc`` — **SMC invalidation** damage.  A tight loop over a handful
+  of consecutive cache lines (biased back-edges make the earliest lines
+  exponentially hottest) whose stores alias the code region itself.
+  Every icache-line invalidation probe the oracle fires lands on a hot
+  line and throws away live entries.
+- ``adv-pwconflict`` — **prediction-window conflict**.  Dozens of
+  single-block functions placed exactly one uop-cache set-alias stride
+  apart (64 B line x 32 sets = 2 KiB by default), dispatched uniformly
+  at random with no target stickiness: every line in the program competes
+  for the same set, and every dispatch starts a new prediction window.
+
+Each engine builds its program image deterministically from the walk seed
+(via :func:`~repro.common.hashing.derive_stream_seed`) so the same
+(engine, params, seed) always yields the same trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import ClassVar, Dict, List, Optional, Tuple
+
+from ..common.errors import WorkloadError
+from ..common.hashing import derive_stream_seed
+from ..isa.instruction import BranchKind, InstClass, X86Instruction
+from .engine import ParamSpecs, WorkloadEngine, register_engine
+from .generator import (
+    Behavior,
+    BiasedBehavior,
+    IndirectBehavior,
+    TraceWalker,
+    Workload,
+    WorkloadProfile,
+)
+from .program import BasicBlock, Function, Program
+from .trace import Trace
+
+_LINE_BYTES = 64
+_CODE_BASE = 0x40_0000
+
+
+def _alu(address: int, length: int = 3) -> X86Instruction:
+    return X86Instruction(address=address, length=length,
+                          inst_class=InstClass.ALU, uop_count=1)
+
+
+def _store(address: int, length: int = 4) -> X86Instruction:
+    return X86Instruction(address=address, length=length,
+                          inst_class=InstClass.STORE, uop_count=1,
+                          imm_disp_count=1, writes_memory=True)
+
+
+def _load(address: int, length: int = 4) -> X86Instruction:
+    return X86Instruction(address=address, length=length,
+                          inst_class=InstClass.LOAD, uop_count=1,
+                          imm_disp_count=1, reads_memory=True)
+
+
+def _jmp(address: int, target: int, length: int = 5) -> X86Instruction:
+    return X86Instruction(address=address, length=length,
+                          inst_class=InstClass.BRANCH, uop_count=1,
+                          branch_kind=BranchKind.UNCONDITIONAL,
+                          branch_target=target)
+
+
+def _cond(address: int, target: int, length: int = 5) -> X86Instruction:
+    return X86Instruction(address=address, length=length,
+                          inst_class=InstClass.BRANCH, uop_count=1,
+                          branch_kind=BranchKind.CONDITIONAL,
+                          branch_target=target)
+
+
+def _cycle_successors(count: int, rng: random.Random) -> List[int]:
+    """A seeded single-cycle permutation: succ[i] visits every block."""
+    order = list(range(count))
+    rng.shuffle(order)
+    successors = [0] * count
+    for position, block in enumerate(order):
+        successors[block] = order[(position + 1) % count]
+    return successors
+
+
+# ----------------------------------------------------------- adv-fragment
+
+@register_engine
+class FragmentationEngine(WorkloadEngine):
+    """Maximize uop-cache fragmentation with line-straddling micro-blocks.
+
+    Block ``i`` owns a private pair of cache lines (stride 128 B): an ALU
+    starts 5 bytes before the first line's end and the 5-byte terminator
+    straddles the boundary.  Terminators chain the blocks in a seeded
+    Hamiltonian cycle; every ``cond_every``-th block terminates in a
+    50/50 conditional (both arms converge on the cycle successor) to keep
+    the branch predictor guessing and split prediction windows.
+    """
+
+    name = "adv-fragment"
+    PARAM_SPECS: ClassVar[ParamSpecs] = {
+        "num_blocks": (int, 640),
+        "cond_every": (int, 8),
+    }
+
+    def _validate(self) -> None:
+        if self.params["num_blocks"] < 2:
+            raise WorkloadError("num_blocks must be >= 2")
+        if self.params["cond_every"] < 1:
+            raise WorkloadError("cond_every must be >= 1")
+
+    def _build(self, seed: int) -> Workload:
+        num_blocks = self.params["num_blocks"]
+        cond_every = self.params["cond_every"]
+        rng = random.Random(derive_stream_seed(seed, self.name + "/build"))
+        successors = _cycle_successors(num_blocks, rng)
+        entries = [_CODE_BASE + 2 * _LINE_BYTES * index + (_LINE_BYTES - 5)
+                   for index in range(num_blocks)]
+
+        behaviors: Dict[int, Behavior] = {}
+        blocks: List[BasicBlock] = []
+        for index in range(num_blocks):
+            entry = entries[index]
+            target = entries[successors[index]]
+            lead = _alu(entry, length=4)          # ends 1 byte before line end
+            term_pc = lead.end_address            # 5-byte straddler
+            if index % cond_every == cond_every - 1:
+                terminator = _cond(term_pc, target)
+                behaviors[term_pc] = BiasedBehavior(0.5)
+                blocks.append(BasicBlock(instructions=[lead, terminator]))
+                # Not-taken arm: a landing block at the fallthrough address
+                # re-joins the cycle (one more fragment in the second line).
+                landing = _alu(terminator.end_address, length=3)
+                rejoin = _jmp(landing.end_address, target)
+                blocks.append(BasicBlock(instructions=[landing, rejoin]))
+            else:
+                terminator = _jmp(term_pc, target)
+                blocks.append(BasicBlock(instructions=[lead, terminator]))
+
+        function = Function(name="frag", blocks=blocks)
+        program = Program([function], entry=entries[0])
+        profile = WorkloadProfile(name=self.name)
+        return Workload(profile=profile, program=program,
+                        behaviors=behaviors)
+
+    def build_trace(self, num_instructions: int, seed: int) -> Trace:
+        workload = self._build(seed)
+        return TraceWalker(workload, seed).walk(num_instructions)
+
+
+# ---------------------------------------------------------------- adv-smc
+
+class _SmcWalker(TraceWalker):
+    """Directs stores at the code region itself (self-modifying code)."""
+
+    def __init__(self, workload: Workload, seed: int,
+                 code_lines: Tuple[int, ...],
+                 code_store_fraction: float) -> None:
+        super().__init__(workload, seed)
+        self._code_lines = code_lines
+        self._code_store_fraction = code_store_fraction
+        self._store_cursor = 0
+
+    def _memory_address(self, inst: X86Instruction,
+                        depth: int) -> Optional[int]:
+        if inst.writes_memory and \
+                self._rng.random() < self._code_store_fraction:
+            self._store_cursor += 1
+            line = self._code_lines[
+                self._store_cursor % len(self._code_lines)]
+            return line + (self._store_cursor * 8) % _LINE_BYTES
+        return super()._memory_address(inst, depth)
+
+
+@register_engine
+class SmcInvalidationEngine(WorkloadEngine):
+    """Maximize SMC invalidation damage: a hot loop the probes always hit.
+
+    ``lines`` consecutive cache lines each hold one 64-byte block (store +
+    load + ALU fill) ending in a conditional back-edge to line 0 taken
+    with probability ``back_edge_bias`` — so line occupancy decays
+    geometrically and an invalidation probe at a random record PC almost
+    always lands on a hot, fully-built line.  Stores alias the code lines
+    themselves with probability ``code_store_fraction``.
+    """
+
+    name = "adv-smc"
+    PARAM_SPECS: ClassVar[ParamSpecs] = {
+        "lines": (int, 6),
+        "back_edge_bias": (float, 0.65),
+        "code_store_fraction": (float, 0.9),
+    }
+
+    def _validate(self) -> None:
+        if self.params["lines"] < 2:
+            raise WorkloadError("lines must be >= 2")
+        if not 0.0 < self.params["back_edge_bias"] < 1.0:
+            raise WorkloadError("back_edge_bias must be in (0, 1)")
+        if not 0.0 <= self.params["code_store_fraction"] <= 1.0:
+            raise WorkloadError("code_store_fraction must be in [0, 1]")
+
+    def _build(self) -> Tuple[Workload, Tuple[int, ...]]:
+        lines = self.params["lines"]
+        blocks: List[BasicBlock] = []
+        behaviors: Dict[int, Behavior] = {}
+        line_bases = tuple(_CODE_BASE + _LINE_BYTES * index
+                           for index in range(lines))
+        for index, base in enumerate(line_bases):
+            cursor = base
+            instructions: List[X86Instruction] = []
+            for build in (_store, _load):
+                inst = build(cursor)
+                instructions.append(inst)
+                cursor = inst.end_address
+            while cursor < base + _LINE_BYTES - 5:       # leave terminator room
+                inst = _alu(cursor)
+                instructions.append(inst)
+                cursor = inst.end_address
+            pad = base + _LINE_BYTES - 5 - cursor
+            if pad:                                      # 3-byte ALUs leave 0..2
+                last = instructions[-1]
+                instructions[-1] = _alu(last.address, length=last.length + pad)
+                cursor = instructions[-1].end_address
+            if index < lines - 1:
+                # Falls through to the next line's block when not taken.
+                terminator = _cond(cursor, line_bases[0])
+                behaviors[cursor] = BiasedBehavior(
+                    self.params["back_edge_bias"])
+            else:
+                terminator = _jmp(cursor, line_bases[0])
+            instructions.append(terminator)
+            blocks.append(BasicBlock(instructions=instructions))
+
+        function = Function(name="smc-loop", blocks=blocks)
+        program = Program([function], entry=line_bases[0])
+        profile = WorkloadProfile(name=self.name)
+        workload = Workload(profile=profile, program=program,
+                            behaviors=behaviors)
+        return workload, line_bases
+
+    def build_trace(self, num_instructions: int, seed: int) -> Trace:
+        workload, line_bases = self._build()
+        walker = _SmcWalker(
+            workload, seed, code_lines=line_bases,
+            code_store_fraction=self.params["code_store_fraction"])
+        return walker.walk(num_instructions)
+
+
+# --------------------------------------------------------- adv-pwconflict
+
+@register_engine
+class PwConflictEngine(WorkloadEngine):
+    """Maximize prediction-window and set conflict.
+
+    ``num_functions`` one-block functions sit exactly ``stride`` bytes
+    apart; with the default geometry (32 sets x 64-byte lines) a 2048-byte
+    stride maps *every* function onto uop-cache set 0.  The driver
+    dispatches among them uniformly with ``indirect_stickiness=1`` (a
+    fresh random target every call), so each dispatch opens a new
+    prediction window into a line that is fighting all the others for one
+    set's ways.
+    """
+
+    name = "adv-pwconflict"
+    PARAM_SPECS: ClassVar[ParamSpecs] = {
+        "num_functions": (int, 48),
+        "stride": (int, 2048),
+    }
+
+    def _validate(self) -> None:
+        if self.params["num_functions"] < 2:
+            raise WorkloadError("num_functions must be >= 2")
+        if self.params["stride"] < _LINE_BYTES:
+            raise WorkloadError(f"stride must be >= {_LINE_BYTES}")
+
+    def _build(self) -> Workload:
+        count = self.params["num_functions"]
+        stride = self.params["stride"]
+        behaviors: Dict[int, Behavior] = {}
+        functions: List[Function] = []
+        entries: List[int] = []
+        for index in range(count):
+            entry = _CODE_BASE + index * stride
+            entries.append(entry)
+            body: List[X86Instruction] = []
+            cursor = entry
+            for _ in range(3):
+                inst = _alu(cursor)
+                body.append(inst)
+                cursor = inst.end_address
+            body.append(X86Instruction(
+                address=cursor, length=1, inst_class=InstClass.RET,
+                uop_count=2, branch_kind=BranchKind.RET, reads_memory=True))
+            functions.append(Function(
+                name=f"victim{index}",
+                blocks=[BasicBlock(instructions=body)]))
+
+        driver_entry = _CODE_BASE + count * stride
+        cursor = driver_entry
+        call_block: List[X86Instruction] = []
+        for _ in range(2):
+            inst = _alu(cursor)
+            call_block.append(inst)
+            cursor = inst.end_address
+        call = X86Instruction(
+            address=cursor, length=5, inst_class=InstClass.CALL,
+            uop_count=2, branch_kind=BranchKind.INDIRECT_CALL,
+            writes_memory=True)
+        behaviors[cursor] = IndirectBehavior(
+            targets=tuple(entries),
+            weights=tuple(1.0 / count for _ in range(count)))
+        call_block.append(call)
+        cursor = call.end_address
+        loop_block = [_alu(cursor)]
+        cursor = loop_block[0].end_address
+        loop_block.append(_jmp(cursor, driver_entry))
+        functions.append(Function(
+            name="driver",
+            blocks=[BasicBlock(instructions=call_block),
+                    BasicBlock(instructions=loop_block)]))
+
+        program = Program(functions, entry=driver_entry)
+        # indirect_stickiness=1 => the walker re-rolls the dispatch target
+        # on every call: maximum prediction-window churn.
+        profile = WorkloadProfile(name=self.name, indirect_stickiness=1)
+        return Workload(profile=profile, program=program,
+                        behaviors=behaviors)
+
+    def build_trace(self, num_instructions: int, seed: int) -> Trace:
+        workload = self._build()
+        return TraceWalker(workload, seed).walk(num_instructions)

@@ -83,12 +83,40 @@ class WorkloadProfile:
         lo, hi = self.insts_per_block
         if not (0 <= lo <= hi):
             raise WorkloadError("invalid insts_per_block range")
+        for name in ("loop_fraction", "call_fraction", "uncond_fraction",
+                     "indirect_fraction", "indirect_call_fraction",
+                     "hard_branch_fraction", "easy_taken_bias",
+                     "driver_uniform_fraction", "far_access_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{name} must be in [0,1], got {value!r}")
         fractions = (self.loop_fraction + self.call_fraction +
                      self.uncond_fraction + self.indirect_fraction)
         if fractions > 1.0 + 1e-9:
             raise WorkloadError("terminator fractions exceed 1.0")
-        if not 0.0 <= self.hard_branch_fraction <= 1.0:
-            raise WorkloadError("hard_branch_fraction must be in [0,1]")
+        lo, hi = self.indirect_call_targets
+        if not 1 <= lo <= hi:
+            raise WorkloadError(
+                f"invalid indirect_call_targets range ({lo}, {hi}): "
+                "need 1 <= lo <= hi")
+        if self.phase_length < 0:
+            raise WorkloadError(
+                f"phase_length must be >= 0 (0 disables phases), "
+                f"got {self.phase_length}")
+        if not self.loop_trip_counts or \
+                any(trip < 1 for trip in self.loop_trip_counts):
+            raise WorkloadError(
+                "loop_trip_counts needs at least one trip count >= 1")
+        if self.indirect_stickiness < 1:
+            raise WorkloadError("indirect_stickiness must be >= 1")
+        if self.max_call_depth < 1:
+            raise WorkloadError("max_call_depth must be >= 1")
+        if self.hot_function_zipf < 0.0:
+            raise WorkloadError("hot_function_zipf must be >= 0")
+        if self.function_alignment < 1:
+            raise WorkloadError("function_alignment must be >= 1")
+        if self.data_working_set_bytes < 8:
+            raise WorkloadError("data_working_set_bytes must be >= 8")
 
 
 # --------------------------------------------------------------------------
@@ -123,7 +151,7 @@ class Workload:
     behaviors: Dict[int, Behavior]
 
     def trace(self, num_instructions: int, seed: int = 7) -> Trace:
-        return _TraceWalker(self, seed).walk(num_instructions)
+        return TraceWalker(self, seed).walk(num_instructions)
 
 
 # --------------------------------------------------------------------------
@@ -406,8 +434,16 @@ class WorkloadGenerator:
 # Dynamic trace walking.
 # --------------------------------------------------------------------------
 
-class _TraceWalker:
-    """Walks a workload's CFG, resolving branch behaviours into a trace."""
+class TraceWalker:
+    """Walks a workload's CFG, resolving branch behaviours into a trace.
+
+    Subclassable: workload engines (see :mod:`repro.workloads.engine`)
+    override :meth:`_pick_function_entry`, :meth:`_sticky_indirect_target`
+    or :meth:`_memory_address` to impose phase schedules or adversarial
+    behaviour on an existing program image.  ``self._index`` holds the
+    number of records emitted so far and is updated before every
+    resolution step, so overrides can key schedules off trace position.
+    """
 
     def __init__(self, workload: Workload, seed: int) -> None:
         self.workload = workload
@@ -427,6 +463,7 @@ class _TraceWalker:
         self._stack_base = 0x7FFF_0000_0000
         self._heap_base = 0x10_0000_0000
         self._heap_counter = 0
+        self._index = 0
 
     def walk(self, num_instructions: int) -> Trace:
         if num_instructions < 1:
@@ -442,6 +479,7 @@ class _TraceWalker:
         pc = program.entry
 
         while len(records) < num_instructions:
+            self._index = len(records)
             if profile.phase_length:
                 phase = len(records) // profile.phase_length
             inst = program.at(pc)
@@ -556,6 +594,10 @@ class _TraceWalker:
             return self._heap_base + (1 << 31) + rng.randrange(0, 1 << 18, 64)
         # Cold access: misses all the way to DRAM (rare).
         return self._heap_base + (1 << 32) + rng.randrange(0, 1 << 28, 64)
+
+
+#: Backwards-compatible alias (the walker predates the engine registry).
+_TraceWalker = TraceWalker
 
 
 def generate_workload(profile: WorkloadProfile, seed: int = 1) -> Workload:

@@ -4,3 +4,7 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+#: Walk seeds the cross-suite differential tests sweep (the default seed
+#: plus one distinct from every generation seed in use).
+SUITE_SEEDS = (7, 11)

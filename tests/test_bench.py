@@ -192,6 +192,28 @@ class TestCompare:
         assert any("suite parameters differ" in failure
                    for failure in result.failures)
 
+    def test_default_engine_run_omits_engine_keys(self, tiny_report):
+        """Default reports keep the pre-engine layout, so they compare
+        cleanly against baselines written before engines existed."""
+        assert "engine" not in tiny_report["suites"]["tiny"]
+        assert "engine_params" not in tiny_report["suites"]["tiny"]
+
+    def test_engine_suite_does_not_compare_against_synthetic(self,
+                                                             tiny_report):
+        import dataclasses
+        engine_report = run_report(
+            [dataclasses.replace(_TINY, engine="adv-pwconflict")],
+            designs=_DESIGNS)
+        suite = engine_report["suites"]["tiny"]
+        assert suite["engine"] == "adv-pwconflict"
+        assert suite["engine_params"] == {}
+        result = compare_reports(engine_report, tiny_report, threshold=0.0)
+        assert any("suite parameters differ" in failure and "engine"
+                   in failure for failure in result.failures)
+        # Like against like still compares clean.
+        assert compare_reports(engine_report, engine_report,
+                               threshold=0.0).ok
+
     def test_design_missing_from_baseline_skipped(self, tiny_report):
         baseline = _mutated(tiny_report, lambda r: r["suites"]["tiny"]
                             ["designs"].pop("f-pwac"))

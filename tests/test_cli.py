@@ -96,6 +96,58 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "aggregate UPC" in out
 
+    def test_run_with_engine(self, capsys):
+        assert main(["run", "bm-x64", "--instructions", "2000",
+                     "--engine", "adv-fragment",
+                     "--engine-params", '{"num_blocks": 64}']) == 0
+        out = capsys.readouterr().out
+        assert "UPC" in out
+
+    def test_run_with_fast_mode(self, capsys):
+        assert main(["run", "bm-x64", "--instructions", "2000",
+                     "--fast-mode"]) == 0
+        out = capsys.readouterr().out
+        assert "UPC" in out
+
+    def test_sweep_with_engine(self, capsys):
+        assert main(["sweep-policy", "--workloads", "bm-x64",
+                     "--instructions", "2000", "--warmup", "0",
+                     "--engine", "oscillating"]) == 0
+        out = capsys.readouterr().out
+        assert "bm-x64" in out
+
+    def test_trace_pack_and_info_and_replay(self, capsys, tmp_path):
+        packed = tmp_path / "bm.uoptrace"
+        assert main(["trace-pack", "bm-x64", "--instructions", "1500",
+                     "--out", str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "packed 1500 records" in out
+        assert main(["trace-info", str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "integrity OK" in out
+        assert "engine=synthetic" in out
+        assert main(["trace-info", str(packed), "--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"records": 1500' in out
+        assert main(["run", "bm-x64", "--instructions", "1500",
+                     "--engine", "replay", "--engine-params",
+                     '{"path": "%s"}' % packed]) == 0
+        out = capsys.readouterr().out
+        assert "UPC" in out
+
+    def test_bad_engine_params_json_is_a_config_error(self, capsys):
+        assert main(["run", "bm-x64", "--instructions", "2000",
+                     "--engine-params", "{not json"]) == 2
+        err = capsys.readouterr().err
+        assert "--engine-params" in err
+
+    def test_trace_info_rejects_corrupt_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.uoptrace"
+        bad.write_bytes(b"UOPTRACEgarbage")
+        assert main(["trace-info", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
     def test_sweep_policy_small(self, capsys):
         assert main(["sweep-policy", "--workloads", "bm-x64",
                      "--instructions", "3000", "--warmup", "0"]) == 0

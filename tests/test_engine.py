@@ -1,0 +1,188 @@
+"""Workload-engine registry tests and the engine-equivalence differential.
+
+The differential test is the refactor's proof obligation: the default
+``SyntheticMarkovEngine`` must reproduce the pre-engine
+``generate_workload(profile).trace(...)`` path byte-for-byte — same
+dynamic records, same ``SimulationResult.to_dict()`` — for every suite
+workload and seed, so routing everything through the registry changed no
+existing numbers.
+"""
+
+import pytest
+
+from conftest import SUITE_SEEDS
+from repro.common.errors import WorkloadError
+from repro.core.experiment import policy_config, workload_trace
+from repro.core.simulator import Simulator
+from repro.workloads.engine import (
+    SyntheticMarkovEngine,
+    WorkloadEngine,
+    create_engine,
+    engine_names,
+    register_engine,
+)
+from repro.workloads.generator import generate_workload
+from repro.workloads.suite import WORKLOAD_NAMES, get_profile
+
+#: Every engine that generates (rather than replays) a trace.
+GENERATIVE_ENGINES = ("synthetic", "phased-static", "phased-dynamic",
+                      "oscillating", "adv-fragment", "adv-smc",
+                      "adv-pwconflict")
+
+
+# ------------------------------------------------------------------ registry
+
+def test_registry_lists_all_engines_sorted():
+    names = engine_names()
+    assert names == tuple(sorted(names))
+    assert set(names) == set(GENERATIVE_ENGINES) | {"replay"}
+
+
+def test_create_engine_unknown_name():
+    with pytest.raises(WorkloadError, match="unknown workload engine"):
+        create_engine("no-such-engine")
+
+
+def test_unknown_parameter_rejected():
+    with pytest.raises(WorkloadError, match="unknown parameter"):
+        create_engine("synthetic", params={"gen_sed": 2})
+
+
+def test_wrong_parameter_type_rejected():
+    with pytest.raises(WorkloadError, match="must be int"):
+        create_engine("synthetic", params={"gen_seed": "seven"})
+
+
+def test_bool_is_not_an_int_parameter():
+    with pytest.raises(WorkloadError, match="must be int"):
+        create_engine("synthetic", params={"gen_seed": True})
+
+
+def test_int_coerces_to_float_parameter():
+    engine = create_engine("oscillating", params={"cold_fraction": 1})
+    assert engine.params["cold_fraction"] == 1.0
+    assert isinstance(engine.params["cold_fraction"], float)
+
+
+def test_required_parameter_enforced():
+    with pytest.raises(WorkloadError, match="requires parameter 'path'"):
+        create_engine("replay")
+
+
+def test_register_engine_rejects_duplicates():
+    class Impostor(SyntheticMarkovEngine):
+        pass
+
+    with pytest.raises(WorkloadError, match="duplicate engine name"):
+        register_engine(Impostor)
+
+
+def test_register_engine_requires_a_name():
+    class Nameless(WorkloadEngine):
+        def build_trace(self, num_instructions, seed):
+            raise NotImplementedError
+
+    with pytest.raises(WorkloadError, match="no engine name"):
+        register_engine(Nameless)
+
+
+def test_describe_is_canonical():
+    engine = create_engine("oscillating", workload="redis",
+                           params={"cold_fraction": 0.9, "gen_seed": 3})
+    described = engine.describe()
+    assert described["engine"] == "oscillating"
+    assert described["workload"] == "redis"
+    assert list(described["params"]) == sorted(described["params"])
+    assert described["params"]["cold_fraction"] == 0.9
+    assert described["params"]["gen_seed"] == 3
+
+
+# ------------------------------------------------------- parameter validation
+
+@pytest.mark.parametrize("engine,params", [
+    ("oscillating", {"segment_length": 0}),
+    ("oscillating", {"hot_fraction": 0.0}),
+    ("oscillating", {"cold_fraction": 1.5}),
+    ("oscillating", {"hot_fraction": 0.8, "cold_fraction": 0.2}),
+    ("adv-fragment", {"num_blocks": 1}),
+    ("adv-fragment", {"cond_every": 0}),
+    ("adv-smc", {"lines": 1}),
+    ("adv-smc", {"back_edge_bias": 1.0}),
+    ("adv-smc", {"code_store_fraction": -0.1}),
+    ("adv-pwconflict", {"num_functions": 1}),
+    ("adv-pwconflict", {"stride": 32}),
+])
+def test_out_of_range_parameters_rejected(engine, params):
+    with pytest.raises(WorkloadError):
+        create_engine(engine, params=params)
+
+
+# ------------------------------------------------------------- engine smokes
+
+@pytest.mark.parametrize("engine", GENERATIVE_ENGINES)
+def test_engine_builds_valid_trace_of_exact_length(engine):
+    trace = create_engine(engine).build_trace(600, seed=7)
+    assert len(trace.records) == 600
+    trace.validate()
+
+
+@pytest.mark.parametrize("engine", GENERATIVE_ENGINES)
+def test_engine_is_deterministic(engine):
+    first = create_engine(engine).build_trace(400, seed=11)
+    second = create_engine(engine).build_trace(400, seed=11)
+    assert first.records == second.records
+
+
+@pytest.mark.parametrize("engine", GENERATIVE_ENGINES)
+def test_engine_seed_changes_the_walk(engine):
+    one = create_engine(engine).build_trace(400, seed=1)
+    two = create_engine(engine).build_trace(400, seed=2)
+    assert one.records != two.records
+
+
+@pytest.mark.parametrize("engine", GENERATIVE_ENGINES)
+def test_engine_fast_mode_matches_normal(engine):
+    """Counters-only fast mode is bit-identical for every engine."""
+    trace = create_engine(engine).build_trace(800, seed=7)
+    config = policy_config("f-pwac", 2048)
+    normal = Simulator(trace, config, "f-pwac").run()
+    fast = Simulator(trace, config.with_fast_mode(), "f-pwac").run()
+    assert normal.to_dict() == fast.to_dict()
+
+
+def test_adversarial_engines_have_distinct_shapes():
+    fragment = create_engine("adv-fragment").build_trace(1000, seed=7)
+    smc = create_engine("adv-smc").build_trace(1000, seed=7)
+    conflict = create_engine("adv-pwconflict").build_trace(1000, seed=7)
+    # Fragmentation: every block's terminator straddles a line boundary.
+    assert fragment.program.touched_icache_lines() > 1000
+    # SMC: tiny hot footprint so invalidation probes always land hot.
+    assert smc.program.touched_icache_lines() <= 12
+    # PW conflict: every victim entry maps to uop-cache set 0 (stride 2048).
+    entries = {f.entry for f in conflict.program.functions[:-1]}
+    assert len({entry % 2048 for entry in entries}) == 1
+
+
+# ------------------------------------------- the equivalence differential
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+@pytest.mark.parametrize("seed", SUITE_SEEDS)
+def test_synthetic_engine_matches_pre_refactor_records(workload, seed):
+    """Same dynamic stream as the direct generate-then-walk path."""
+    legacy = generate_workload(get_profile(workload), seed=1).trace(
+        1200, seed=seed)
+    engine = create_engine("synthetic", workload=workload).build_trace(
+        1200, seed=seed)
+    assert engine.records == legacy.records
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_synthetic_engine_matches_pre_refactor_results(workload):
+    """Byte-identical SimulationResult through the public trace path."""
+    legacy_trace = generate_workload(get_profile(workload), seed=1).trace(
+        1200, seed=SUITE_SEEDS[0])
+    config = policy_config("pwac", 2048)
+    legacy = Simulator(legacy_trace, config, "pwac").run().to_dict()
+    routed_trace = workload_trace(workload, 1200, seed=SUITE_SEEDS[0])
+    routed = Simulator(routed_trace, config, "pwac").run().to_dict()
+    assert routed == legacy

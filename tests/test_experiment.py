@@ -72,7 +72,8 @@ class TestTraceCache:
             workload_trace("bm-x64", 1000, seed=seed)
         assert len(experiment._trace_cache) == 2
         # Most recently used entries survive.
-        assert ("bm-x64", 1000, 3) in experiment._trace_cache
+        assert ("bm-x64", 1000, 3, "synthetic", ()) in \
+            experiment._trace_cache
         clear_trace_cache()
 
 

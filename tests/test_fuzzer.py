@@ -76,6 +76,56 @@ class TestRunInput:
         assert first.coverage == second.coverage
 
 
+class TestEngineInputs:
+    def test_engine_input_round_trips_through_json(self):
+        original = _default_input(engine="adv-smc",
+                                  engine_params=(("lines", 4),))
+        data = json.loads(json.dumps(original.to_dict()))
+        assert FuzzInput.from_dict(data) == original
+
+    def test_engine_input_runs_clean(self):
+        report = run_input(_default_input(engine="adv-pwconflict"))
+        assert report.ok, report.divergence
+        assert report.coverage
+
+    def test_engine_input_ignores_profile_params(self):
+        base = _default_input(engine="adv-smc")
+        other = _default_input(engine="adv-smc", profile_params=())
+        assert run_input(base).counters == run_input(other).counters
+
+    def test_mutation_stays_within_the_engine(self):
+        from repro.workloads.engine import create_engine
+        rng = random.Random(7)
+        parent = _default_input(engine="oscillating")
+        for _ in range(25):
+            child = mutate(rng, parent, "clasp")
+            assert child.engine == "oscillating"
+            # Every mutated parameter set must construct cleanly.
+            create_engine(child.engine, workload=child.workload,
+                          params=dict(child.engine_params))
+
+    def test_fuzzer_rejects_replay_engine(self, tmp_path):
+        with pytest.raises(OracleError, match="cannot be fuzzed"):
+            WorkloadFuzzer(designs=["clasp"], out_dir=tmp_path,
+                           engine="replay")
+
+    def test_fuzzer_rejects_bad_base_params(self, tmp_path):
+        with pytest.raises(OracleError, match="unknown parameter"):
+            WorkloadFuzzer(designs=["clasp"], out_dir=tmp_path,
+                           engine="adv-smc",
+                           engine_params={"linez": 4})
+
+    @pytest.mark.fuzz
+    def test_engine_fuzz_smoke_runs_clean(self, tmp_path):
+        fuzzer = WorkloadFuzzer(designs=["clasp", "pwac"], seed=7,
+                                budget=4, out_dir=tmp_path,
+                                engine="adv-smc")
+        result = fuzzer.run()
+        assert result.ok
+        assert result.runs == 4
+        assert result.coverage
+
+
 class TestMutate:
     def test_mutation_yields_valid_profiles(self):
         rng = random.Random(7)

@@ -43,6 +43,47 @@ class TestProfileValidation:
         with pytest.raises(WorkloadError):
             WorkloadProfile(name="x", hard_branch_fraction=1.5)
 
+    def test_negative_phase_length_rejected(self):
+        with pytest.raises(WorkloadError, match="phase_length"):
+            WorkloadProfile(name="x", phase_length=-1)
+
+    @pytest.mark.parametrize("targets", [(0, 3), (5, 2), (0, 0)])
+    def test_degenerate_indirect_call_targets_rejected(self, targets):
+        with pytest.raises(WorkloadError, match="indirect_call_targets"):
+            WorkloadProfile(name="x", indirect_call_targets=targets)
+
+    @pytest.mark.parametrize("trips", [(), (0,), (3, 0)])
+    def test_bad_loop_trip_counts_rejected(self, trips):
+        with pytest.raises(WorkloadError, match="loop_trip_counts"):
+            WorkloadProfile(name="x", loop_trip_counts=trips)
+
+    def test_zero_stickiness_rejected(self):
+        with pytest.raises(WorkloadError, match="indirect_stickiness"):
+            WorkloadProfile(name="x", indirect_stickiness=0)
+
+    def test_zero_call_depth_rejected(self):
+        with pytest.raises(WorkloadError, match="max_call_depth"):
+            WorkloadProfile(name="x", max_call_depth=0)
+
+    def test_negative_zipf_rejected(self):
+        with pytest.raises(WorkloadError, match="hot_function_zipf"):
+            WorkloadProfile(name="x", hot_function_zipf=-0.1)
+
+    def test_zero_alignment_rejected(self):
+        with pytest.raises(WorkloadError, match="function_alignment"):
+            WorkloadProfile(name="x", function_alignment=0)
+
+    def test_tiny_working_set_rejected(self):
+        with pytest.raises(WorkloadError, match="data_working_set_bytes"):
+            WorkloadProfile(name="x", data_working_set_bytes=4)
+
+    @pytest.mark.parametrize("field", ["easy_taken_bias",
+                                       "indirect_call_fraction",
+                                       "driver_uniform_fraction"])
+    def test_out_of_range_fractions_rejected(self, field):
+        with pytest.raises(WorkloadError, match=field):
+            WorkloadProfile(name="x", **{field: 1.01})
+
 
 class TestGeneration:
     def test_deterministic_per_seed(self):

@@ -34,9 +34,24 @@ GOLDEN_RUNS = [
     ("bm-ds", "pwac", 2500),
 ]
 
+#: All designs, snapshotted once per new workload engine (one
+#: representative engine per engine family: trace replay, phase-structured
+#: generation, adversarial generation).  The replay engine's packed input
+#: is produced at test time from the synthetic engine, so its goldens pin
+#: the full pack -> unpack -> simulate path.
+ENGINE_DESIGNS = ("baseline", "clasp", "rac", "pwac", "f-pwac")
+ENGINE_GOLDEN_ENGINES = ("replay", "oscillating", "adv-fragment")
+ENGINE_GOLDEN_RUNS = [(engine, design, 2500)
+                      for engine in ENGINE_GOLDEN_ENGINES
+                      for design in ENGINE_DESIGNS]
+
 
 def _golden_path(workload: str, design: str) -> Path:
     return GOLDEN_DIR / f"{workload}_{design}.json"
+
+
+def _engine_golden_path(workload: str, design: str, engine: str) -> Path:
+    return GOLDEN_DIR / f"{workload}_{design}_{engine}.json"
 
 
 def _run(workload: str, design: str, instructions: int) -> dict:
@@ -98,8 +113,56 @@ def test_golden_run(workload, design, instructions):
             "REPRO_REGEN_GOLDEN=1 and review the JSON diff.")
 
 
+@pytest.fixture(scope="module")
+def packed_trace_path(tmp_path_factory):
+    """A packed copy of the default synthetic bm-x64 trace, built once."""
+    from repro.workloads.engine import create_engine
+    from repro.workloads.tracefile import pack_trace
+
+    trace = create_engine("synthetic", workload="bm-x64").build_trace(
+        2500, DEFAULT_SEED)
+    path = tmp_path_factory.mktemp("golden-replay") / "bm-x64.uoptrace"
+    pack_trace(trace, path, provenance={"engine": "synthetic"})
+    return path
+
+
+@pytest.mark.parametrize("engine,design,instructions", ENGINE_GOLDEN_RUNS,
+                         ids=[f"{e}-{d}" for e, d, _ in ENGINE_GOLDEN_RUNS])
+def test_engine_golden_run(engine, design, instructions, packed_trace_path):
+    workload = "bm-x64"
+    engine_params = {"path": str(packed_trace_path)} \
+        if engine == "replay" else {}
+    config = dataclasses.replace(policy_config(design, 2048),
+                                 warmup_instructions=0)
+    trace = workload_trace(workload, instructions, seed=DEFAULT_SEED,
+                           engine=engine, engine_params=engine_params)
+    actual = Simulator(trace, config, design).run().to_dict()
+    path = _engine_golden_path(workload, design, engine)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        if path.exists():
+            pytest.skip(f"{path.name} already committed; goldens are "
+                        "append-only (delete explicitly to rewrite)")
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"golden file {path} missing; run with REPRO_REGEN_GOLDEN=1 "
+        "to create it")
+    expected = json.loads(path.read_text())
+    divergence = _first_divergence(expected, actual)
+    if divergence:
+        where, want, got = divergence
+        pytest.fail(
+            f"golden mismatch for {workload}/{design}@{engine} at "
+            f"'{where}': golden={want!r} result={got!r}\n"
+            "If the simulator change is intentional, regenerate with "
+            "REPRO_REGEN_GOLDEN=1 and review the JSON diff.")
+
+
 def test_golden_files_have_no_strays():
     """Every committed golden file corresponds to a configured run."""
     expected = {_golden_path(w, d).name for w, d, _ in GOLDEN_RUNS}
+    expected |= {_engine_golden_path("bm-x64", d, e).name
+                 for e, d, _ in ENGINE_GOLDEN_RUNS}
     present = {p.name for p in GOLDEN_DIR.glob("*.json")}
     assert present == expected

@@ -100,11 +100,74 @@ class TestFromDict:
                                "num_instructions": "many"})
 
 
+class TestEngineFields:
+    def test_engine_params_normalize_to_sorted_pairs(self):
+        spec = _spec(engine="oscillating",
+                     engine_params={"segment_length": 500, "gen_seed": 2})
+        assert spec.engine_params == (("gen_seed", 2),
+                                      ("segment_length", 500))
+
+    def test_spellings_of_same_params_share_a_key(self):
+        a = _spec(engine="oscillating",
+                  engine_params={"segment_length": 500, "gen_seed": 2})
+        b = _spec(engine="oscillating",
+                  engine_params=(("segment_length", 500), ("gen_seed", 2)))
+        assert a.key == b.key
+
+    def test_engine_changes_the_key(self):
+        assert _spec().key != _spec(engine="adv-smc").key
+        assert _spec(engine="adv-smc").key != \
+            _spec(engine="adv-smc", engine_params={"lines": 4}).key
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown workload engine"):
+            _spec(engine="warp-drive")
+
+    def test_bad_engine_params_rejected_at_submission(self):
+        with pytest.raises(ProtocolError, match="unknown parameter"):
+            _spec(engine="adv-smc", engine_params={"linez": 4})
+        with pytest.raises(ProtocolError, match="must be int"):
+            _spec(engine="adv-smc", engine_params={"lines": "six"})
+
+    def test_from_dict_round_trips_engine_fields(self):
+        spec = _spec(engine="adv-fragment",
+                     engine_params={"num_blocks": 64})
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.key == spec.key
+
+    def test_from_dict_rejects_non_object_engine_params(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            JobSpec.from_dict({"workload": "bm-x64",
+                               "engine_params": [1, 2]})
+
+    def test_from_dict_rejects_bad_engine_param_values(self):
+        with pytest.raises(ProtocolError, match="string or number"):
+            JobSpec.from_dict({"workload": "bm-x64", "engine": "adv-smc",
+                               "engine_params": {"lines": None}})
+
+    def test_default_engine_key_is_versioned_not_aliased(self):
+        """A default-engine spec still hashes the engine fields (v2)."""
+        spec = _spec()
+        assert spec.canonical()["engine"] == "synthetic"
+        assert spec.canonical()["key_version"] == KEY_VERSION
+
+
 class TestExecuteSpec:
     def test_matches_direct_simulation(self):
         spec = _spec(warmup_instructions=300)
         config = dataclasses.replace(
             policy_config("clasp", 2048, 2), warmup_instructions=300)
         trace = workload_trace("bm-x64", INSTRUCTIONS, seed=7)
+        direct = Simulator(trace, config, "clasp").run()
+        assert execute_spec(spec) == direct
+
+    def test_engine_spec_matches_direct_engine_simulation(self):
+        spec = _spec(engine="adv-pwconflict",
+                     engine_params={"num_functions": 16})
+        config = policy_config("clasp", 2048, 2)
+        trace = workload_trace("bm-x64", INSTRUCTIONS, seed=7,
+                               engine="adv-pwconflict",
+                               engine_params={"num_functions": 16})
         direct = Simulator(trace, config, "clasp").run()
         assert execute_spec(spec) == direct

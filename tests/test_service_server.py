@@ -161,6 +161,34 @@ def served(tmp_path):
 JOB = {"workload": "bm-x64", "num_instructions": INSTRUCTIONS}
 
 
+class TestParseJobsEngineDefaults:
+    """The serve-level default engine is injected into bare specs only."""
+
+    @staticmethod
+    def _body(*jobs):
+        return json.dumps({"jobs": list(jobs)}).encode("utf-8")
+
+    def test_default_engine_injected_when_spec_omits_one(self):
+        from repro.service.server import _parse_jobs
+        specs = _parse_jobs(self._body({"workload": "bm-x64"}),
+                            "adv-smc", {"lines": 4})
+        assert specs[0].engine == "adv-smc"
+        assert specs[0].engine_params == (("lines", 4),)
+
+    def test_spec_engine_always_wins(self):
+        from repro.service.server import _parse_jobs
+        specs = _parse_jobs(
+            self._body({"workload": "bm-x64", "engine": "synthetic"}),
+            "adv-smc", {"lines": 4})
+        assert specs[0].engine == "synthetic"
+        assert specs[0].engine_params == ()
+
+    def test_synthetic_default_leaves_submissions_untouched(self):
+        from repro.service.server import _parse_jobs
+        specs = _parse_jobs(self._body({"workload": "bm-x64"}))
+        assert specs[0] == JobSpec(workload="bm-x64")
+
+
 class TestServiceServer:
     def test_health(self, served):
         async def scenario(port, _service):

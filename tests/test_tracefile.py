@@ -1,0 +1,176 @@
+"""Property tests for the packed ``.uoptrace`` format.
+
+Three guarantees, hypothesis-checked:
+
+- pack -> unpack round-trips bit-identically (same records, same program,
+  and re-packing the unpacked trace reproduces the original bytes);
+- a damaged file — truncated anywhere, or any single bit flipped — raises
+  a descriptive :class:`WorkloadError`, never unpacks silently;
+- replaying a packed trace produces a :class:`SimulationResult` identical
+  to simulating the originating trace directly.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.errors import WorkloadError
+from repro.core.experiment import policy_config
+from repro.core.simulator import Simulator
+from repro.workloads.engine import create_engine
+from repro.workloads.tracefile import (
+    FORMAT_VERSION,
+    MAGIC,
+    pack_bytes,
+    pack_trace,
+    trace_info,
+    unpack_bytes,
+    unpack_trace,
+)
+
+#: A small but structurally rich trace (branches, calls, memory refs).
+_TRACE = create_engine("synthetic").build_trace(300, seed=7)
+_PACKED = pack_bytes(_TRACE, provenance={"engine": "synthetic", "seed": 7})
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+# ------------------------------------------------------------- round trips
+
+@pytest.mark.parametrize("engine", ["synthetic", "oscillating",
+                                    "adv-fragment", "adv-smc",
+                                    "adv-pwconflict"])
+def test_round_trip_preserves_every_record(engine):
+    trace = create_engine(engine).build_trace(250, seed=3)
+    unpacked = unpack_bytes(pack_bytes(trace))
+    assert unpacked.name == trace.name
+    assert unpacked.records == trace.records
+    for record in trace.records:
+        assert unpacked.program.at(record.pc) == trace.program.at(record.pc)
+
+
+def test_packing_is_canonical():
+    """Equal traces produce byte-identical files, even via a round trip."""
+    again = create_engine("synthetic").build_trace(300, seed=7)
+    assert pack_bytes(again, provenance={"engine": "synthetic", "seed": 7}) \
+        == _PACKED
+    unpacked = unpack_bytes(_PACKED)
+    assert pack_bytes(unpacked, provenance={"engine": "synthetic",
+                                            "seed": 7}) == _PACKED
+
+
+@_PROPERTY_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       length=st.integers(min_value=1, max_value=220))
+def test_round_trip_is_bit_identical_for_any_walk(seed, length):
+    trace = create_engine("synthetic").build_trace(length, seed=seed)
+    packed = pack_bytes(trace)
+    unpacked = unpack_bytes(packed)
+    assert unpacked.records == trace.records
+    assert pack_bytes(unpacked) == packed
+
+
+def test_file_round_trip(tmp_path):
+    path = tmp_path / "t.uoptrace"
+    written = pack_trace(_TRACE, path, provenance={"kind": "test"})
+    assert path.stat().st_size == written
+    assert unpack_trace(path).records == _TRACE.records
+    info = trace_info(path)
+    assert info["records"] == len(_TRACE.records)
+    assert info["provenance"] == {"kind": "test"}
+    assert info["file_bytes"] == written
+    assert info["version"] == FORMAT_VERSION
+
+
+# ---------------------------------------------------------------- corruption
+
+@_PROPERTY_SETTINGS
+@given(cut=st.integers(min_value=0, max_value=len(_PACKED) - 1))
+def test_any_truncation_raises(cut):
+    with pytest.raises(WorkloadError):
+        unpack_bytes(_PACKED[:cut])
+
+
+@_PROPERTY_SETTINGS
+@given(bit=st.integers(min_value=0, max_value=len(_PACKED) * 8 - 1))
+def test_any_single_bit_flip_raises(bit):
+    damaged = bytearray(_PACKED)
+    damaged[bit // 8] ^= 1 << (bit % 8)
+    with pytest.raises(WorkloadError):
+        unpack_bytes(bytes(damaged))
+
+
+def test_bad_magic_is_descriptive():
+    with pytest.raises(WorkloadError, match="bad magic"):
+        unpack_bytes(b"NOTATRACE" + _PACKED[9:])
+
+
+def test_unsupported_version_is_descriptive():
+    data = bytearray(_PACKED)
+    data[len(MAGIC)] = 99
+    with pytest.raises(WorkloadError, match="version 99"):
+        unpack_bytes(bytes(data))
+
+
+def test_crc_failure_names_the_section():
+    # Flip a payload byte well inside the RECS section (the file tail).
+    data = bytearray(_PACKED)
+    data[-2] ^= 0xFF
+    with pytest.raises(WorkloadError, match="CRC mismatch"):
+        unpack_bytes(bytes(data))
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(WorkloadError, match="trailing garbage"):
+        unpack_bytes(_PACKED + b"\x00")
+
+
+def test_empty_file_rejected():
+    with pytest.raises(WorkloadError):
+        unpack_bytes(b"")
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(WorkloadError, match="no such trace file"):
+        unpack_trace(tmp_path / "absent.uoptrace")
+
+
+def test_unpack_trace_prefixes_the_path(tmp_path):
+    path = tmp_path / "zapped.uoptrace"
+    data = bytearray(_PACKED)
+    data[-2] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(WorkloadError, match="zapped.uoptrace"):
+        unpack_trace(path)
+
+
+# ------------------------------------------------------------ replay fidelity
+
+@pytest.mark.parametrize("design", ["baseline", "clasp", "f-pwac"])
+def test_replay_reproduces_the_original_run(tmp_path, design):
+    path = tmp_path / "replay.uoptrace"
+    pack_trace(_TRACE, path)
+    replayed = create_engine("replay", params={"path": str(path)}) \
+        .build_trace(len(_TRACE.records), seed=0)
+    config = policy_config(design, 2048)
+    direct = Simulator(_TRACE, config, design).run().to_dict()
+    via_replay = Simulator(replayed, config, design).run().to_dict()
+    assert via_replay == direct
+
+
+def test_replay_prefix_and_seed_independence(tmp_path):
+    path = tmp_path / "replay.uoptrace"
+    pack_trace(_TRACE, path)
+    engine = create_engine("replay", params={"path": str(path)})
+    prefix = engine.build_trace(100, seed=1)
+    assert prefix.records == _TRACE.records[:100]
+    assert engine.build_trace(100, seed=2).records == prefix.records
+
+
+def test_replay_longer_than_packed_is_an_error(tmp_path):
+    path = tmp_path / "replay.uoptrace"
+    pack_trace(_TRACE, path)
+    engine = create_engine("replay", params={"path": str(path)})
+    with pytest.raises(WorkloadError, match="300"):
+        engine.build_trace(len(_TRACE.records) + 1, seed=0)
