@@ -78,40 +78,45 @@ class PredictionWindowBuilder:
         records = trace.records
         total = len(records)
         index = 0
+        program_at = program.at
+        taken_branch = PwTermination.TAKEN_BRANCH
+        max_nt = PwTermination.MAX_NOT_TAKEN
+        line_end = PwTermination.LINE_END
+        trace_end = PwTermination.TRACE_END
 
         while index < total:
             first = index
             start_pc = records[index].pc
             start_line = start_pc // line_bytes
             not_taken_seen = 0
-            termination = PwTermination.TRACE_END
+            termination = trace_end
 
             while True:
                 record = records[index]
-                inst = program.at(record.pc)
+                inst = program_at(record.pc)
                 taken = record.next_pc != inst.end_address
                 index += 1
 
                 if inst.is_branch and (taken or inst.is_unconditional_transfer):
-                    termination = PwTermination.TAKEN_BRANCH
+                    termination = taken_branch
                     break
                 if inst.is_branch:
                     not_taken_seen += 1
                     if not_taken_seen >= max_not_taken:
-                        termination = PwTermination.MAX_NOT_TAKEN
+                        termination = max_nt
                         break
                 # Line boundary: the next sequential instruction would start
                 # outside the PW's I-cache line.
                 if record.next_pc // line_bytes != start_line:
-                    termination = PwTermination.LINE_END
+                    termination = line_end
                     break
                 if index >= total:
-                    termination = PwTermination.TRACE_END
+                    termination = trace_end
                     break
 
             last = index - 1
             last_record = records[last]
-            last_inst = program.at(last_record.pc)
+            last_inst = program_at(last_record.pc)
             yield PredictionWindow(
                 pw_id=start_pc,
                 first=first,

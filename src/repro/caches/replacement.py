@@ -153,9 +153,10 @@ class Srrip(ReplacementPolicy):
         if invalid >= 0:
             return invalid
         rrpv = self._rrpv[set_index]
+        max_rrpv = self.MAX_RRPV
         while True:
             for way, value in enumerate(rrpv):
-                if value == self.MAX_RRPV:
+                if value == max_rrpv:
                     return way
             for way in range(self.num_ways):
                 rrpv[way] += 1

@@ -141,10 +141,11 @@ class SweepResult:
 
     def labels(self) -> List[str]:
         labels: List[str] = []
+        push = labels.append
         for by_label in self.results.values():
             for label in by_label:
                 if label not in labels:
-                    labels.append(label)
+                    push(label)
         return labels
 
     def metric(self, workload: str, label: str,

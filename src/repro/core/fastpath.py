@@ -226,6 +226,8 @@ class FastPath:
         acc_begin = accumulator.begin
         fetch_line = hierarchy.fetch_instruction_line_fast
         record_burst = decoder_power.record_decode_burst
+        observe_fetch = sim._observe_fetch_action
+        observe_taken = loop_cache.observe_taken_branch
 
         # Back-end queue state read directly for backpressure (mirrors
         # OutOfOrderBackend.queue_backpressure_cycle without the property
@@ -314,7 +316,7 @@ class FastPath:
                     fe_cycle = redirect
                 if strict:
                     _sync()
-                    sim._observe_fetch_action(fe_cycle)
+                    observe_fetch(fe_cycle)
                 continue
 
             entry = lookup_fast(pc)
@@ -354,14 +356,14 @@ class FastPath:
                             redirect = fe_cycle + 1 + DECODE_RESTEER_PENALTY
                             if taken:
                                 if loop_enabled:
-                                    loop_cache.observe_taken_branch(
+                                    observe_taken(
                                         pc, next_pcs[idx],
                                         body_uops=seq_run_uops)
                                 seq_run_uops = 0
                             break
                     if taken:
                         if loop_enabled:
-                            loop_cache.observe_taken_branch(
+                            observe_taken(
                                 pc, next_pcs[idx], body_uops=seq_run_uops)
                         seq_run_uops = 0
                         break
@@ -413,14 +415,14 @@ class FastPath:
                                         DECODE_RESTEER_PENALTY)
                             if taken:
                                 if loop_enabled:
-                                    loop_cache.observe_taken_branch(
+                                    observe_taken(
                                         pc, next_pcs[idx],
                                         body_uops=seq_run_uops)
                                 seq_run_uops = 0
                             break
                     if taken:
                         if loop_enabled:
-                            loop_cache.observe_taken_branch(
+                            observe_taken(
                                 pc, next_pcs[idx], body_uops=seq_run_uops)
                         seq_run_uops = 0
                 decode_cycles = (decoded + decode_bw - 1) // decode_bw
@@ -434,6 +436,6 @@ class FastPath:
                 fe_cycle = redirect
             if strict:
                 _sync()
-                sim._observe_fetch_action(fe_cycle)
+                observe_fetch(fe_cycle)
 
         _sync()

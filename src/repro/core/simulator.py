@@ -199,6 +199,10 @@ class Simulator:
         warmup = cfg.warmup_instructions
         tel = self.telemetry
         tel_insts = tel_uops = 0
+        # Prebound methods: these run on every fetch action.
+        emit_fetch = self._emit_fetch_action
+        observe_fetch = self._observe_fetch_action
+        oc_fill = oc.fill
 
         while cursor < limit:
             if warmup and self._warmup_snapshot is None and \
@@ -235,10 +239,10 @@ class Simulator:
                     self.fe_cycles_redirect += redirect - fe_cycle
                     fe_cycle = redirect
                 if tel is not None:
-                    self._emit_fetch_action(tel, "loop", tel_uops, tel_insts,
-                                            fe_cycle)
+                    emit_fetch(tel, "loop", tel_uops, tel_insts,
+                               fe_cycle)
                 if self.strict:
-                    self._observe_fetch_action(fe_cycle)
+                    observe_fetch(fe_cycle)
                 yield fe_cycle
                 continue
 
@@ -248,7 +252,7 @@ class Simulator:
                 # accumulated entry (the accumulation buffer drains on path
                 # switch, as after the decoder goes idle in hardware).
                 for sealed in accumulator.flush():
-                    oc.fill(sealed)
+                    oc_fill(sealed)
                 cursor, fe_cycle, redirect = self._serve_from_uop_cache(
                     entry, cursor, limit, fe_cycle, oc_latency,
                     pw_fetch_cycle)
@@ -265,11 +269,11 @@ class Simulator:
                 self.fe_cycles_redirect += redirect - fe_cycle
                 fe_cycle = redirect
             if tel is not None:
-                self._emit_fetch_action(
+                emit_fetch(
                     tel, "oc" if entry is not None else "ic",
                     tel_uops, tel_insts, fe_cycle)
             if self.strict:
-                self._observe_fetch_action(fe_cycle)
+                observe_fetch(fe_cycle)
             yield fe_cycle
 
     def supply_counters(self) -> Dict[str, int]:
@@ -432,6 +436,9 @@ class Simulator:
         target = loop_cache.active_target
         branch_pc = loop_cache.active_branch_pc
         bandwidth = self.config.uop_cache.bandwidth_uops_per_cycle
+        admit = backend.admit
+        observe_other = loop_cache.observe_other_flow
+        load_kind = UopKind.LOAD
         redirect = 0
         uops_served = 0
 
@@ -439,15 +446,16 @@ class Simulator:
             record = records[cursor]
             pc = record.pc
             if not (target <= pc <= branch_pc):
-                loop_cache.observe_other_flow()
+                observe_other()
                 break
             inst = program.at(pc)
             uops = program.uops_at(pc)
             arrival = fe_cycle + 1 + uops_served // bandwidth
             timing = None
+            mem_addr = record.mem_addr
             for uop in uops:
-                mem = record.mem_addr if uop.kind is UopKind.LOAD else None
-                timing = backend.admit(uop, arrival, mem)
+                mem = mem_addr if uop.kind is load_kind else None
+                timing = admit(uop, arrival, mem)
             self._uops_from_loop += len(uops)
             self._seq_run_uops += len(uops)
             uops_served += len(uops)
@@ -463,7 +471,7 @@ class Simulator:
                     self._mispredict_latency_sum += max(
                         0, resolve - pw_fetch_cycle)
                     redirect = resolve + MISPREDICT_REDIRECT_PENALTY
-                    loop_cache.observe_other_flow()
+                    observe_other()
                     self._seq_run_uops = 0
                     break
             if taken:
@@ -472,7 +480,7 @@ class Simulator:
                         pc, record.next_pc, body_uops=self._seq_run_uops)
                     self._seq_run_uops = 0
                     continue        # next iteration streams back-to-back
-                loop_cache.observe_other_flow()
+                observe_other()
                 self._seq_run_uops = 0
                 break
 
@@ -490,6 +498,9 @@ class Simulator:
         records = trace.records
         backend = self.backend
         arrival = fe_cycle + oc_latency
+        admit = backend.admit
+        note_taken = self._note_taken_branch
+        load_kind = UopKind.LOAD
         redirect = 0
         start, end = entry.start_pc, entry.end_pc
 
@@ -503,9 +514,10 @@ class Simulator:
             self._uops_from_oc += len(uops)
             self._seq_run_uops += len(uops)
             timing = None
+            mem_addr = record.mem_addr
             for uop in uops:
-                mem = record.mem_addr if uop.kind is UopKind.LOAD else None
-                timing = backend.admit(uop, arrival, mem)
+                mem = mem_addr if uop.kind is load_kind else None
+                timing = admit(uop, arrival, mem)
             self._instructions_done += 1
             cursor += 1
             taken = record.next_pc != inst.end_address
@@ -522,10 +534,10 @@ class Simulator:
                 if outcome.outcome is PredictionOutcome.DECODE_RESTEER:
                     redirect = fe_cycle + 1 + DECODE_RESTEER_PENALTY
                     if taken:
-                        self._note_taken_branch(pc, record.next_pc)
+                        note_taken(pc, record.next_pc)
                     break
             if taken:
-                self._note_taken_branch(pc, record.next_pc)
+                note_taken(pc, record.next_pc)
                 break   # control flow left the entry's sequential range
 
         # One entry dispatches per cycle (up to 8 uops wide).
@@ -547,6 +559,11 @@ class Simulator:
         oc = self.uop_cache
         accumulator = self.accumulator
         accumulator.begin(pw_id)
+        admit = backend.admit
+        oc_fill = oc.fill
+        acc_push = accumulator.push
+        note_taken = self._note_taken_branch
+        load_kind = UopKind.LOAD
 
         first_pc = records[cursor].pc
         # On an OC miss the IC path restarts serially: the I-cache access must
@@ -568,9 +585,10 @@ class Simulator:
             uops = program.uops_at(pc)
             arrival = base + slot // decode_bw
             timing = None
+            mem_addr = record.mem_addr
             for uop in uops:
-                mem = record.mem_addr if uop.kind is UopKind.LOAD else None
-                timing = backend.admit(uop, arrival, mem)
+                mem = mem_addr if uop.kind is load_kind else None
+                timing = admit(uop, arrival, mem)
             self._uops_from_ic += len(uops)
             self._seq_run_uops += len(uops)
             self._instructions_done += 1
@@ -579,8 +597,8 @@ class Simulator:
             cursor += 1
 
             taken = record.next_pc != inst.end_address
-            for entry in accumulator.push(uops, taken):
-                oc.fill(entry)
+            for entry in acc_push(uops, taken):
+                oc_fill(entry)
                 sealed_count += 1
 
             if inst.is_branch:
@@ -597,10 +615,10 @@ class Simulator:
                     redirect = (fe_cycle + fetch_latency +
                                 slot // decode_bw + DECODE_RESTEER_PENALTY)
                     if taken:
-                        self._note_taken_branch(pc, record.next_pc)
+                        note_taken(pc, record.next_pc)
                     break
             if taken:
-                self._note_taken_branch(pc, record.next_pc)
+                note_taken(pc, record.next_pc)
 
         decode_cycles = (decoded + decode_bw - 1) // decode_bw
         self.decoder_power.record_decode_burst(decoded, decode_cycles)

@@ -117,12 +117,15 @@ class SmtSimulator:
         generators = [thread.steps() for thread in self.threads]
         clocks = [0] * len(generators)
         live = set(range(len(generators)))
+        # Closure captures ``clocks`` by reference, so one lambda serves
+        # every iteration.
+        priority = lambda index: (clocks[index], index)  # noqa: E731
 
         while live:
             # Pick the live thread with the smallest front-end clock; ties
             # resolve to the lowest thread id (fixed priority, as in a real
             # fetch arbiter).
-            thread_id = min(live, key=lambda index: (clocks[index], index))
+            thread_id = min(live, key=priority)
             try:
                 clocks[thread_id] = next(generators[thread_id])
             except StopIteration:

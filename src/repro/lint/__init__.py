@@ -35,6 +35,7 @@ from . import rules as _rules  # noqa: F401  (imports register the rule set)
 from . import flowrules as _flowrules  # noqa: F401  (F1-F4)
 from . import contracts as _contracts  # noqa: F401  (X1-X3)
 from . import asyncrules as _asyncrules  # noqa: F401  (A1-A5)
+from . import perfrules as _perfrules  # noqa: F401  (P1-P5)
 
 __all__ = [
     "Finding",

@@ -48,6 +48,7 @@ from .callgraph import (
     CallSite,
     FunctionDecl,
     build_call_graph,
+    call_closure,
 )
 from .effects import EffectAnalysis, analyze_effects
 from .engine import Module, ProjectRule, register
@@ -78,17 +79,9 @@ class AsyncAnalysis:
         field(default_factory=dict)
 
 
-def _call_closure(graph: CallGraph, roots: Set[str]) -> Set[str]:
-    reached = set(roots)
-    frontier = sorted(roots)
-    while frontier:
-        fid = frontier.pop()
-        for callee, kind in graph.successors(fid):
-            if kind == "call" and callee in graph.functions and \
-                    callee not in reached:
-                reached.add(callee)
-                frontier.append(callee)
-    return reached
+# The plain-call-edge closure lives in callgraph.py now (the perf rules'
+# hot-region computation shares it); keep the historical local name.
+_call_closure = call_closure
 
 
 def build_async_analysis(modules: Sequence[Module]) -> AsyncAnalysis:

@@ -1,0 +1,405 @@
+"""Incremental analysis cache: content-hash-keyed, call-graph-aware.
+
+A full self-lint parses every file and rebuilds the whole-program call
+graph, effect summaries, and hot-region model — tens of seconds on the
+full repository, which is too slow for pre-commit use.  Almost all of
+that work is redundant between runs: lint findings for a file can only
+change when
+
+- the file's own content changes,
+- the content of a file it is coupled to changes (project rules reason
+  across files along call/spawn edges and imports), or
+- the linter itself changes (rules, engine, flags).
+
+This module persists per-file results keyed by content hash, with a
+file-level dependency edge set derived from the PR 7 call graph plus the
+import graph.  On a warm run it hashes the universe, computes the dirty
+set (changed files plus everything transitively coupled to them), and
+
+- replays every finding from the cache when nothing is dirty — no
+  parsing, no rules, sub-second; or
+- re-runs the engine restricted to the dirty set and merges fresh
+  results with cached ones for the untouched files.
+
+The cache file is schema-versioned and fingerprinted against the lint
+package's own sources, the active rule ids, and the scope flag, so any
+change to the linter invalidates it wholesale.  Writes are atomic
+(tmp + fsync + ``os.replace``), the same discipline as the result store.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .asyncrules import AsyncRule
+from .callgraph import build_call_graph
+from .engine import LintEngine, LintReport, Module
+from .finding import Finding
+
+#: Bump when the cache entry layout changes; old caches are discarded.
+CACHE_FORMAT = 1
+
+#: Default cache location, resolved relative to the working directory.
+DEFAULT_CACHE = ".simlint-cache.json"
+
+
+@dataclass
+class CacheStats:
+    """What one cached run did, for the CLI's one-line summary."""
+
+    total_files: int = 0
+    reanalyzed: int = 0
+    #: True when every finding came from the cache (nothing dirty).
+    replayed: bool = False
+    #: The dirty set itself (repo-relative, sorted) — tests assert on it.
+    reanalyzed_files: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (f"re-analyzed {self.reanalyzed} of {self.total_files} "
+                f"file(s)")
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _rel_of(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def engine_fingerprint(engine: LintEngine) -> str:
+    """Identity of the analyzer itself: lint sources + rules + flags.
+
+    Any change to the lint package (a new rule, a fixed false positive)
+    must invalidate every cached entry — stale findings are worse than a
+    cold run.
+    """
+    digest = hashlib.sha256()
+    package = Path(__file__).resolve().parent
+    for source in sorted(package.glob("*.py")):
+        digest.update(source.name.encode("utf-8"))
+        digest.update(source.read_bytes())
+    digest.update(repr(sorted(rule.id for rule in engine.rules))
+                  .encode("utf-8"))
+    digest.update(f"ignore_scope={engine.ignore_scope}".encode("utf-8"))
+    digest.update(f"format={CACHE_FORMAT}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+# -- dependency edges ---------------------------------------------------------
+
+def _module_name_map(modules: Sequence[Module]) -> Dict[str, str]:
+    """Dotted module name -> rel, for resolving imports to files."""
+    names: Dict[str, str] = {}
+    for module in modules:
+        parts = module.rel.split("/")
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if not parts:
+            continue
+        leaf = parts[-1]
+        if leaf == "__init__.py":
+            dotted = ".".join(parts[:-1])
+        elif leaf.endswith(".py"):
+            dotted = ".".join(parts[:-1] + [leaf[:-3]])
+        else:
+            continue
+        if dotted:
+            names[dotted] = module.rel
+    return names
+
+
+def _import_targets(module: Module,
+                    names: Dict[str, str]) -> Set[str]:
+    """Rels of in-universe modules this module imports."""
+    package_parts = module.rel.split("/")
+    if package_parts and package_parts[0] == "src":
+        package_parts = package_parts[1:]
+    package = package_parts[:-1]        # the containing package
+    targets: Set[str] = set()
+
+    def resolve(dotted: str) -> None:
+        # The name may be a module or a member of one: try the longest
+        # prefix that maps to a file.
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            rel = names.get(".".join(parts[:cut]))
+            if rel is not None:
+                targets.add(rel)
+                return
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                resolve(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package[:len(package) - (node.level - 1)] \
+                    if node.level > 1 else package
+                prefix = ".".join(base)
+            else:
+                prefix = ""
+            stem = node.module or ""
+            head = ".".join(p for p in (prefix, stem) if p)
+            if head:
+                resolve(head)
+            for alias in node.names:
+                if alias.name != "*" and head:
+                    resolve(f"{head}.{alias.name}")
+    return targets
+
+
+def file_dependencies(modules: Sequence[Module],
+                      cache: Optional[Dict[str, object]] = None
+                      ) -> Tuple[Dict[str, Set[str]], Dict[str, Set[str]]]:
+    """Undirected file-coupling edges, as ``(call_edges, import_edges)``.
+
+    ``call_edges`` is *directed*, caller file -> callee file.  A finding in
+    file G depends on file F in exactly two call-mediated ways: G's effect
+    chains run through functions G transitively calls (so G must be redone
+    when a transitive callee changes), and G's hot-region status depends on
+    paths that reach it from the per-cycle roots (so G must be redone when
+    a transitive caller changes).  Invalidation therefore takes the forward
+    closure plus the reverse closure of the changed files — but never mixes
+    directions, which is what keeps a leaf edit from dirtying the world via
+    caller-of-callee zigzags.  ``import_edges`` is undirected and only ever
+    applied one hop: the cross-file contract rules correlate two modules
+    through a shared imported hub, and one hop reaches the hub.  Closing
+    imports transitively would collapse the repository into one connected
+    component (every module meets its package ``__init__``).
+    """
+    call_edges: Dict[str, Set[str]] = {m.rel: set() for m in modules}
+    import_edges: Dict[str, Set[str]] = {m.rel: set() for m in modules}
+
+    analysis = cache.get(AsyncRule._CACHE_KEY) if cache else None
+    graph = analysis.graph if analysis is not None \
+        else build_call_graph(modules)
+    for fid in graph.functions:
+        caller_rel = graph.functions[fid].module_rel
+        for callee, _kind in graph.successors(fid):
+            decl = graph.functions.get(callee)
+            if decl is not None and decl.module_rel != caller_rel:
+                call_edges.setdefault(caller_rel, set()).add(decl.module_rel)
+
+    names = _module_name_map(modules)
+    for module in modules:
+        for target in _import_targets(module, names):
+            if target != module.rel:
+                import_edges.setdefault(module.rel, set()).add(target)
+                import_edges.setdefault(target, set()).add(module.rel)
+    return call_edges, import_edges
+
+
+def _directed_closure(seeds: Set[str],
+                      edges: Dict[str, Sequence[str]]) -> Set[str]:
+    reached = set(seeds)
+    frontier = sorted(seeds)
+    while frontier:
+        rel = frontier.pop()
+        for neighbour in edges.get(rel, ()):
+            if neighbour not in reached:
+                reached.add(neighbour)
+                frontier.append(neighbour)
+    return reached
+
+
+def dependency_closure(seeds: Set[str],
+                       call_edges: Dict[str, Sequence[str]],
+                       import_edges: Optional[Dict[str, Sequence[str]]] = None
+                       ) -> Set[str]:
+    """Seeds, one import hop, and both directed call closures (unmixed)."""
+    expanded = set(seeds)
+    if import_edges:
+        for rel in seeds:
+            expanded.update(import_edges.get(rel, ()))
+    reverse: Dict[str, Set[str]] = {}
+    for rel, targets in call_edges.items():
+        for target in targets:
+            reverse.setdefault(target, set()).add(rel)
+    return (_directed_closure(expanded, call_edges)
+            | _directed_closure(expanded, reverse))
+
+
+# -- the cache itself ---------------------------------------------------------
+
+@dataclass
+class IncrementalCache:
+    """Per-file result cache wrapped around a :class:`LintEngine` run."""
+
+    path: Path
+    root: Path
+    #: rel -> entry dict (hash, findings, suppressed, parse_error, deps)
+    files: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    fingerprint: str = ""
+
+    @classmethod
+    def load(cls, path: Path, root: Path,
+             fingerprint: str) -> "IncrementalCache":
+        cache = cls(path=path, root=root, fingerprint=fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict) or \
+                payload.get("format") != CACHE_FORMAT or \
+                payload.get("fingerprint") != fingerprint:
+            return cache        # engine changed: discard wholesale
+        stored = payload.get("files")
+        if isinstance(stored, dict):
+            cache.files = {rel: entry for rel, entry in stored.items()
+                           if isinstance(entry, dict)}
+        return cache
+
+    def save(self) -> None:
+        payload = {
+            "format": CACHE_FORMAT,
+            "fingerprint": self.fingerprint,
+            "files": {rel: self.files[rel] for rel in sorted(self.files)},
+        }
+        data = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        tmp_path = self.path.with_suffix(".json.tmp")
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+
+    # -- invalidation ---------------------------------------------------------
+
+    def _current_hashes(self, engine: LintEngine,
+                        paths: Sequence[Path]) -> Dict[str, str]:
+        hashes: Dict[str, str] = {}
+        for file_path in engine.collect_files(paths):
+            hashes[_rel_of(file_path, self.root)] = \
+                _sha256(file_path.read_bytes())
+        return hashes
+
+    def _adjacency(self) -> Tuple[Dict[str, Sequence[str]],
+                                  Dict[str, Sequence[str]]]:
+        calls = {rel: tuple(entry.get("deps", ()))   # type: ignore[arg-type]
+                 for rel, entry in self.files.items()}
+        imports = {rel: tuple(entry.get("imports", ()))  # type: ignore
+                   for rel, entry in self.files.items()}
+        return calls, imports
+
+    def dirty_set(self, hashes: Dict[str, str]) -> Set[str]:
+        """Files needing re-analysis: changed/new/removed plus closure."""
+        seeds: Set[str] = set()
+        for rel, content_hash in hashes.items():
+            entry = self.files.get(rel)
+            if entry is None or entry.get("hash") != content_hash:
+                seeds.add(rel)
+        for rel in self.files:
+            if rel not in hashes and not (self.root / rel).exists():
+                # Deleted from disk (not merely outside the lint paths):
+                # its neighbours lose a coupling partner.
+                seeds.add(rel)
+        calls, imports = self._adjacency()
+        closure = dependency_closure(seeds, calls, imports)
+        return {rel for rel in closure if rel in hashes}
+
+    # -- the run --------------------------------------------------------------
+
+    def run(self, engine: LintEngine, paths: Sequence[Path]
+            ) -> Tuple[LintReport, CacheStats]:
+        hashes = self._current_hashes(engine, paths)
+        dirty = self.dirty_set(hashes)
+        stats = CacheStats(total_files=len(hashes), reanalyzed=len(dirty),
+                           reanalyzed_files=tuple(sorted(dirty)))
+
+        if not dirty:
+            stats.replayed = True
+            return self._replay(hashes), stats
+
+        restrict: Optional[FrozenSet[str]] = frozenset(dirty)
+        if dirty == set(hashes):
+            restrict = None     # cold run: nothing to merge, skip filtering
+        partial = engine.run(paths, restrict=restrict)
+        report = self._merge(partial, hashes, dirty)
+        self._store(partial, engine, hashes, dirty)
+        self.save()
+        return report, stats
+
+    def _replay(self, hashes: Dict[str, str]) -> LintReport:
+        report = LintReport(files_checked=len(hashes))
+        for rel in hashes:
+            entry = self.files[rel]
+            report.findings.extend(
+                Finding.from_dict(payload)
+                for payload in entry.get("findings", ()))
+            suppressed = int(entry.get("suppressed", 0))
+            report.suppressed += suppressed
+            if suppressed:
+                report.suppressed_by_file[rel] = suppressed
+            if entry.get("parse_error"):
+                report.parse_errors += 1
+        report.findings.sort(key=Finding.sort_key)
+        return report
+
+    def _merge(self, partial: LintReport, hashes: Dict[str, str],
+               dirty: Set[str]) -> LintReport:
+        report = LintReport(files_checked=len(hashes),
+                            findings=list(partial.findings),
+                            suppressed=partial.suppressed,
+                            parse_errors=partial.parse_errors,
+                            suppressed_by_file=dict(
+                                partial.suppressed_by_file))
+        for rel in hashes:
+            if rel in dirty:
+                continue
+            entry = self.files.get(rel)
+            if entry is None:       # cold run with restrict=None
+                continue
+            report.findings.extend(
+                Finding.from_dict(payload)
+                for payload in entry.get("findings", ()))
+            suppressed = int(entry.get("suppressed", 0))
+            report.suppressed += suppressed
+            if suppressed:
+                report.suppressed_by_file[rel] = suppressed
+            if entry.get("parse_error"):
+                report.parse_errors += 1
+        report.findings.sort(key=Finding.sort_key)
+        return report
+
+    def _store(self, partial: LintReport, engine: LintEngine,
+               hashes: Dict[str, str], dirty: Set[str]) -> None:
+        context = engine.last_context
+        modules: Sequence[Module] = context.modules if context else ()
+        call_edges, import_edges = file_dependencies(
+            modules, context.cache if context else None)
+
+        by_rel: Dict[str, List[Finding]] = {}
+        for finding in partial.findings:
+            by_rel.setdefault(finding.path, []).append(finding)
+        parsed = {module.rel for module in modules}
+
+        for rel in self.files.copy():
+            if rel not in hashes and not (self.root / rel).exists():
+                del self.files[rel]
+        fresh = dirty if dirty != set(hashes) else set(hashes)
+        for rel in fresh:
+            findings = by_rel.get(rel, [])
+            self.files[rel] = {
+                "hash": hashes[rel],
+                "findings": [finding.to_dict() for finding in findings],
+                "suppressed": partial.suppressed_by_file.get(rel, 0),
+                "parse_error": rel not in parsed,
+            }
+        # Refresh coupling edges for every file of this run's universe:
+        # edges are derived from the *current* whole program, so even
+        # clean files get their adjacency updated.
+        for rel, entry in self.files.items():
+            if rel in call_edges:
+                entry["deps"] = sorted(call_edges[rel])
+            if rel in import_edges:
+                entry["imports"] = sorted(import_edges[rel])

@@ -1049,3 +1049,32 @@ def build_call_graph(modules: Sequence[Module]) -> CallGraph:
         resolver = by_rel[decl.module_rel]
         graph.facts[fid] = _BodyScanner(decl, resolver).scan()
     return graph
+
+
+def call_closure(graph: CallGraph, roots: Set[str]) -> Set[str]:
+    """Roots plus everything reachable from them over plain ``call`` edges.
+
+    Spawn edges are excluded on purpose: a thread/process target runs on a
+    different executor, so reachability facts that care about *who is on
+    this stack* (event-loop blocking, per-cycle hotness, fast-mode
+    guarantees) must not leak across them.
+    """
+    reached = set(roots)
+    frontier = sorted(roots)
+    while frontier:
+        fid = frontier.pop()
+        for callee, kind in graph.successors(fid):
+            if kind == EDGE_CALL and callee in graph.functions and \
+                    callee not in reached:
+                reached.add(callee)
+                frontier.append(callee)
+    return reached
+
+
+def fids_by_qualname(graph: CallGraph,
+                     qualnames: Sequence[str]) -> Set[str]:
+    """Functions whose qualified name matches one of ``qualnames`` exactly
+    (any module) — the anchor for hot-region roots like ``Simulator.steps``."""
+    wanted = set(qualnames)
+    return {fid for fid, decl in graph.functions.items()
+            if decl.qualname in wanted}

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
 
@@ -354,3 +354,120 @@ def _pattern_bindings(pattern: ast.AST) -> List[Tuple[str, ast.AST]]:
 def build_cfg(func: FunctionNode) -> Cfg:
     """Build the CFG of one function definition or a whole module body."""
     return _Builder(func).build()
+
+
+# -- loop nests (hot-region infrastructure for the perf rules) ----------------
+
+LoopNode = Union[ast.For, ast.AsyncFor, ast.While]
+
+
+@dataclass
+class LoopNest:
+    """One statement loop of a function body, with its nesting context.
+
+    ``depth`` is 1 for an outermost loop; a loop's ``orelse`` suite runs
+    once, after the loop, so loops found there nest under the *parent*, not
+    under the loop itself.  Nested function/class definitions are opaque:
+    their loops belong to their own scope, not to the enclosing one.
+    """
+
+    node: LoopNode
+    depth: int
+    parent: Optional["LoopNest"] = None
+    _node_ids: Optional[FrozenSet[int]] = field(default=None, repr=False)
+
+    def contains(self, node: ast.AST) -> bool:
+        """Whether ``node`` sits anywhere inside this loop statement."""
+        if self._node_ids is None:
+            self._node_ids = frozenset(
+                id(child) for child in ast.walk(self.node))
+        return id(node) in self._node_ids
+
+
+def loop_nests(func: FunctionNode) -> List[LoopNest]:
+    """Every statement loop of ``func``'s own body, outermost first."""
+    found: List[LoopNest] = []
+
+    def walk(statements: Sequence[ast.stmt], depth: int,
+             parent: Optional[LoopNest]) -> None:
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue
+            if isinstance(statement, (ast.For, ast.AsyncFor, ast.While)):
+                nest = LoopNest(node=statement, depth=depth + 1,
+                                parent=parent)
+                found.append(nest)
+                walk(statement.body, depth + 1, nest)
+                walk(statement.orelse, depth, parent)
+                continue
+            for _name, value in ast.iter_fields(statement):
+                if isinstance(value, list) and value and \
+                        isinstance(value[0], ast.stmt):
+                    walk(value, depth, parent)
+                elif isinstance(value, list) and value and \
+                        isinstance(value[0], ast.AST) and \
+                        not isinstance(value[0], ast.expr):
+                    # except handlers / match cases: structural wrappers
+                    # holding their own statement suites.
+                    for item in value:
+                        for _n, inner in ast.iter_fields(item):
+                            if isinstance(inner, list) and inner and \
+                                    isinstance(inner[0], ast.stmt):
+                                walk(inner, depth, parent)
+
+    walk(func.body, 0, None)
+    return found
+
+
+def iter_loop_exprs(loop: LoopNode) -> Iterator[ast.AST]:
+    """Expression roots evaluated on *every iteration* of ``loop``.
+
+    Yields the top-level expression nodes of the loop's per-iteration
+    region: its body statements (and, for ``while``, its test), recursing
+    through non-loop compound statements but
+
+    - skipping nested statement loops (their bodies are their own region —
+      only their ``for``-iterables, evaluated once per outer iteration,
+      belong here);
+    - skipping nested function/class definitions, which are yielded as
+      single nodes (the *definition* executes per iteration; the body does
+      not);
+    - skipping cold sub-trees: ``raise``/``assert`` statements and
+      ``except`` handler bodies, where per-iteration cost is irrelevant.
+    """
+    if isinstance(loop, ast.While):
+        yield loop.test
+    for statement in loop.body:
+        yield from _region_stmt(statement)
+
+
+def _region_stmt(node: ast.AST) -> Iterator[ast.AST]:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        yield node
+        return
+    if isinstance(node, (ast.Raise, ast.Assert, ast.Return)) or \
+            isinstance(node, ast.excepthandler):
+        # Cold or once-per-call: raising/assert-failure paths do not run on
+        # the hot iteration, and a ``return`` inside a loop runs at most
+        # once per function call.
+        return
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+        return
+    if isinstance(node, ast.While):
+        return
+    if isinstance(node, ast.AnnAssign):
+        # Annotations are not evaluated per iteration (function-local ones
+        # are never evaluated at all).
+        if node.value is not None:
+            yield node.value
+        return
+    for _name, value in ast.iter_fields(node):
+        items = value if isinstance(value, list) else [value]
+        for item in items:
+            if isinstance(item, ast.expr):
+                yield item
+            elif isinstance(item, ast.AST):
+                yield from _region_stmt(item)

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, TextIO
+from typing import List, Optional, Set, TextIO
 
 from .baseline import (
     apply_baseline,
@@ -21,7 +22,14 @@ from .baseline import (
     update_baseline,
     write_baseline,
 )
-from .engine import LintEngine, LintError, all_rules, rule_catalog
+from .cache import (
+    DEFAULT_CACHE,
+    CacheStats,
+    IncrementalCache,
+    dependency_closure,
+    engine_fingerprint,
+)
+from .engine import LintEngine, LintError, LintReport, all_rules, rule_catalog
 from .sarif import render_sarif
 
 #: Default committed baseline, resolved relative to the working directory
@@ -62,6 +70,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ignore-scope", action="store_true",
                         help="apply path-scoped rules to every file "
                              "(used by the fixture tests)")
+    parser.add_argument("--cache", nargs="?", const=DEFAULT_CACHE,
+                        default=None, metavar="PATH",
+                        help="incremental analysis cache: re-analyze only "
+                             "files whose content (or whose call-graph/"
+                             "import neighbours' content) changed since "
+                             f"the last run (default path: {DEFAULT_CACHE})")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="lint only files git reports as changed "
+                             "(plus their coupled files when a --cache is "
+                             "present); a fast pre-commit mode — project "
+                             "rules see the reduced universe")
 
 
 def _list_rules(stream: TextIO) -> int:
@@ -85,8 +104,21 @@ def run_lint(args: argparse.Namespace,
     engine = LintEngine(root=root, rules=all_rules(),
                         ignore_scope=args.ignore_scope)
     baseline_path = Path(args.baseline)
+    cache: Optional[IncrementalCache] = None
+    if args.cache:
+        cache = IncrementalCache.load(Path(args.cache), root,
+                                      engine_fingerprint(engine))
+    stats: Optional[CacheStats] = None
     try:
-        report = engine.run([Path(p) for p in args.paths])
+        paths = [Path(p) for p in args.paths]
+        if args.changed_only:
+            paths = _changed_paths(root, paths, cache)
+        if args.changed_only and not paths:
+            report = LintReport()
+        elif cache is not None:
+            report, stats = cache.run(engine, paths)
+        else:
+            report = engine.run(paths)
         if args.write_baseline:
             write_baseline(baseline_path, report.findings)
             out.write(f"simlint: wrote {len(report.findings)} finding(s) "
@@ -126,11 +158,53 @@ def run_lint(args: argparse.Namespace,
         out.write(finding.render() + "\n")
     for fingerprint in split.stale:
         out.write(f"stale baseline entry (fixed? prune it): {fingerprint}\n")
+    if stats is not None:
+        out.write(f"simlint: cache: {stats.describe()}\n")
     out.write(f"simlint: {report.files_checked} file(s), "
               f"{len(split.new)} finding(s), "
               f"{len(split.baselined)} baselined, "
               f"{report.suppressed} suppressed\n")
     return 1 if failed else 0
+
+
+def _git_changed_files(root: Path) -> Set[str]:
+    """Paths (repo-relative) git considers modified or untracked."""
+    changed: Set[str] = set()
+    for command in (["git", "diff", "--name-only", "HEAD"],
+                    ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            result = subprocess.run(command, cwd=root, capture_output=True,
+                                    text=True, check=True)
+        except (OSError, subprocess.CalledProcessError) as error:
+            raise LintError(
+                "--changed-only requires a git checkout "
+                f"({' '.join(command)} failed)") from error
+        changed.update(line.strip() for line in result.stdout.splitlines()
+                       if line.strip())
+    return changed
+
+
+def _changed_paths(root: Path, requested: List[Path],
+                   cache: Optional[IncrementalCache]) -> List[Path]:
+    """Changed .py files under the requested paths, expanded through the
+    cached coupling edges when a cache is available."""
+    bases = [(path if path.is_absolute() else root / path).resolve()
+             for path in requested]
+
+    def under_requested(rel: str) -> bool:
+        path = (root / rel).resolve()
+        return any(path == base or base in path.parents for base in bases)
+
+    changed = {rel for rel in _git_changed_files(root)
+               if rel.endswith(".py") and (root / rel).exists()
+               and under_requested(rel)}
+    if cache is not None and cache.files:
+        calls, imports = cache._adjacency()
+        expanded = dependency_closure(set(changed), calls, imports)
+        changed.update(rel for rel in expanded
+                       if rel.endswith(".py") and (root / rel).exists()
+                       and under_requested(rel))
+    return [root / rel for rel in sorted(changed)]
 
 
 def make_parser() -> argparse.ArgumentParser:

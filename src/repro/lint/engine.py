@@ -245,6 +245,9 @@ class LintReport:
     suppressed: int = 0
     files_checked: int = 0
     parse_errors: int = 0
+    #: Suppression counts broken down by file (the incremental cache stores
+    #: these per entry so a replayed run reports the same totals).
+    suppressed_by_file: Dict[str, int] = field(default_factory=dict)
 
 
 class LintEngine:
@@ -260,6 +263,9 @@ class LintEngine:
         self.rules: List[Rule] = list(rules) if rules is not None \
             else all_rules()
         self.ignore_scope = ignore_scope
+        #: Context of the most recent :meth:`run` — the incremental cache
+        #: reads the shared call graph out of it to refresh file deps.
+        self.last_context: Optional[ProjectContext] = None
 
     def collect_files(self, paths: Sequence[Path]) -> List[Path]:
         files: List[Path] = []
@@ -301,7 +307,16 @@ class LintEngine:
     def _applies(self, rule: Rule, module: Module) -> bool:
         return self.ignore_scope or rule.applies_to(module)
 
-    def run(self, paths: Sequence[Path]) -> LintReport:
+    def run(self, paths: Sequence[Path],
+            restrict: Optional[FrozenSet[str]] = None) -> LintReport:
+        """Lint ``paths``; with ``restrict``, report only those rels.
+
+        ``restrict`` is the incremental mode: every file is still parsed
+        (project rules need the whole program to resolve calls), but
+        per-file rules run only on the restricted modules and project-rule
+        findings outside the restriction are dropped — the caller replays
+        them from its cache.
+        """
         modules, parse_failures = self.load_modules(paths)
         report = LintReport(files_checked=len(modules) + len(parse_failures),
                             parse_errors=len(parse_failures))
@@ -309,6 +324,10 @@ class LintEngine:
         by_rel: Dict[str, Module] = {m.rel: m for m in modules}
         context = ProjectContext(modules=modules,
                                  ignore_scope=self.ignore_scope)
+        self.last_context = context
+
+        def targeted(module: Module) -> bool:
+            return restrict is None or module.rel in restrict
 
         for rule in self.rules:
             if isinstance(rule, ProjectRule):
@@ -317,16 +336,20 @@ class LintEngine:
                 raw.extend(rule.check_project(scoped))
             elif isinstance(rule, VisitorRule):
                 for module in modules:
-                    if self._applies(rule, module):
+                    if targeted(module) and self._applies(rule, module):
                         raw.extend(rule.check(module))
             else:   # pragma: no cover - registry enforces the two kinds
                 raise LintError(f"rule {rule.id} is neither visitor nor project")
 
         for finding in raw:
+            if restrict is not None and finding.path not in restrict:
+                continue
             module = by_rel.get(finding.path)
             if module is not None and module.is_suppressed(finding.rule,
                                                            finding.line):
                 report.suppressed += 1
+                report.suppressed_by_file[finding.path] = \
+                    report.suppressed_by_file.get(finding.path, 0) + 1
             else:
                 report.findings.append(finding)
         report.findings.sort(key=Finding.sort_key)

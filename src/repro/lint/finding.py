@@ -58,6 +58,16 @@ class Finding:
             text += f"\n    {step}"
         return text
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (the incremental cache round-trips
+        findings through JSON)."""
+        return cls(rule=payload["rule"], path=payload["path"],
+                   line=payload["line"], col=payload["col"],
+                   message=payload["message"],
+                   severity=Severity(payload["severity"]),
+                   chain=tuple(payload.get("chain", ())))
+
     def to_dict(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "rule": self.rule,

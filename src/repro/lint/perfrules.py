@@ -1,0 +1,994 @@
+"""Hot-loop performance rules (the P family).
+
+PR 8 bought its 3×+ fast-mode speedup with a handful of mechanical Python
+disciplines — hoist loop-invariant attribute/global loads to locals, never
+allocate per cycle, test membership against sets, keep the telemetry hub
+behind a ``None`` guard.  Nothing *enforced* them: one careless edit in a
+per-cycle loop silently erodes the win until the bench gate trips, long
+after the offending commit.  These rules make the disciplines mechanical.
+
+A *hot region* is a statement loop that is either
+
+- lexically inside one of the simulator packages that execute per cycle or
+  per uop (``core/``, ``uopcache/``, ``frontend/``, ``backend/``,
+  ``caches/``, ``branch/``), or
+- inside a function transitively reachable from a per-cycle root
+  (``Simulator.steps``, ``FastPath.run``) over plain call edges of the
+  PR 7 call graph — wherever that function lives.
+
+Loop-invariance is proved with the PR 5 dataflow engine: a load is
+invariant when every reaching definition of its root name lies outside the
+loop and nothing inside the loop stores to any prefix of the chain.
+
+Rules:
+
+- **P1** — loop-invariant container/closure allocation inside a hot loop.
+- **P2** — loop-invariant attribute or global load not hoisted to a local.
+- **P3** — ``in``-membership against a list/tuple inside a hot loop.
+- **P4** — repeated subscript with an invariant base and key.
+- **P5** — a telemetry-hub method call in fast-mode-reachable code that is
+  not dominated by a ``None``/truthiness guard (the PR 8 bit-identity
+  contract: fast mode runs with no hub at all).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .asyncrules import AsyncAnalysis, AsyncRule, build_async_analysis
+from .callgraph import EDGE_CALL, CallGraph, call_closure, fids_by_qualname
+from .cfg import LoopNest, iter_loop_exprs, loop_nests
+from .engine import Module, ProjectContext, ProjectRule, dotted_name, register
+from .finding import Finding, Severity
+from .flowrules import FunctionInfo, function_infos
+
+#: Packages whose loops are hot by construction (they execute per cycle or
+#: per uop in every simulation).
+HOT_PACKAGES = ("repro/core", "repro/uopcache", "repro/frontend",
+                "repro/backend", "repro/caches", "repro/branch")
+
+#: Qualified names of the per-cycle entry points; everything they reach
+#: over call edges is hot no matter which package it lives in.
+HOT_ROOT_QUALNAMES = ("Simulator.steps", "FastPath.run")
+
+#: Entry points of the counters-only fast path (P5's reachability root).
+FAST_ROOT_QUALNAMES = ("FastPath.run",)
+
+#: TelemetryHub methods whose receiver may legally be ``None`` in fast mode.
+_HUB_METHODS = frozenset({"emit", "wants", "summary", "add_sink", "close"})
+
+#: Receiver spellings that identify a telemetry hub without type inference.
+_HUB_NAME_HINTS = frozenset({"telemetry", "_telemetry", "tel", "hub", "_hub"})
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+_HOT_MODEL_KEY = "perf:hot-model"
+_SCAN_KEY = "perf:findings"
+
+
+def module_in_hot_package(rel: str) -> bool:
+    """Whether a module path sits inside one of the hot packages."""
+    haystack = f"/{rel}"
+    return any(f"/{fragment}/" in haystack for fragment in HOT_PACKAGES)
+
+
+# -- shared hot-region model --------------------------------------------------
+
+@dataclass
+class HotModel:
+    """Whole-program hotness facts, built once per engine run."""
+
+    graph: CallGraph
+    #: Functions reachable from a per-cycle root over call edges.
+    hot_fids: Set[str] = field(default_factory=set)
+    #: Functions reachable from the fast-mode serve loop (P5's domain).
+    fast_fids: Set[str] = field(default_factory=set)
+    #: BFS parent of each fast fid, for rendering evidence chains.
+    fast_parent: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: ``id(function AST node) -> fid`` so per-module scans can look up a
+    #: function's hotness without re-deriving qualified names.
+    fid_by_node: Dict[int, str] = field(default_factory=dict)
+
+    def function_is_hot(self, info: FunctionInfo, package_hot: bool) -> bool:
+        if package_hot:
+            return True
+        fid = self.fid_by_node.get(id(info.func))
+        return fid is not None and fid in self.hot_fids
+
+
+class PerfRule(ProjectRule):
+    """Base for the P family: shares the hot model across all five rules."""
+
+    severity = Severity.WARNING
+    scope = None
+
+    def model(self, modules: Sequence[Module]) -> HotModel:
+        if self.context is None:
+            return _build_hot_model(modules)
+        cached = self.context.cache.get(_HOT_MODEL_KEY)
+        if cached is None:
+            cached = _build_hot_model(self.context.modules, self.context)
+            self.context.cache[_HOT_MODEL_KEY] = cached
+        model: HotModel = cached
+        return model
+
+
+def _shared_analysis(modules: Sequence[Module],
+                     context: Optional[ProjectContext]) -> AsyncAnalysis:
+    """The A rules' graph+effects artifact, built once per engine run."""
+    if context is None:
+        return build_async_analysis(modules)
+    cached = context.cache.get(AsyncRule._CACHE_KEY)
+    if cached is None:
+        cached = build_async_analysis(context.modules)
+        context.cache[AsyncRule._CACHE_KEY] = cached
+    analysis: AsyncAnalysis = cached
+    return analysis
+
+
+def _build_hot_model(modules: Sequence[Module],
+                     context: Optional[ProjectContext] = None) -> HotModel:
+    graph = _shared_analysis(modules, context).graph
+    model = HotModel(graph=graph)
+    model.hot_fids = call_closure(
+        graph, fids_by_qualname(graph, HOT_ROOT_QUALNAMES))
+    fast_roots = fids_by_qualname(graph, FAST_ROOT_QUALNAMES)
+    model.fast_parent = {fid: None for fid in fast_roots}
+    frontier = sorted(fast_roots)
+    while frontier:
+        fid = frontier.pop(0)
+        for callee, kind in graph.successors(fid):
+            if kind == EDGE_CALL and callee in graph.functions and \
+                    callee not in model.fast_parent:
+                model.fast_parent[callee] = fid
+                frontier.append(callee)
+    model.fast_fids = set(model.fast_parent)
+    model.fid_by_node = {id(decl.node): fid
+                         for fid, decl in graph.functions.items()}
+    return model
+
+
+# -- per-loop region scan -----------------------------------------------------
+
+@dataclass
+class _LoopFacts:
+    """Everything one hot loop's per-iteration region contains."""
+
+    #: maximal pure attribute chains loaded per iteration, by chain text.
+    chains: Dict[str, List[ast.Attribute]] = field(default_factory=dict)
+    #: chains loaded at least once as a *value* (not only as a call head).
+    #: A bound-method prebind survives object mutation; a cached value does
+    #: not, so value loads need a stricter proof.
+    value_loaded: Set[str] = field(default_factory=set)
+    #: bare name loads per iteration, by name.
+    names: Dict[str, List[ast.Name]] = field(default_factory=dict)
+    #: (node, human description, names shadowed at the site) of allocation
+    #: expressions.  Shadowed names (comprehension targets) vary per
+    #: iteration of their comprehension, so an allocation reading one is
+    #: never invariant.
+    allocs: List[Tuple[ast.AST, str, FrozenSet[str]]] = \
+        field(default_factory=list)
+    #: (compare node, container expression) of ``in``/``not in`` tests.
+    members: List[Tuple[ast.Compare, ast.expr]] = field(default_factory=list)
+    #: subscript loads with a pure base chain and a simple key.
+    subscripts: Dict[Tuple[str, str], List[ast.Subscript]] = \
+        field(default_factory=dict)
+    #: attribute chains stored anywhere inside the loop.
+    attr_stores: Set[str] = field(default_factory=set)
+    #: base chains of subscript stores (``d[k] = v``) inside the loop.
+    subscript_store_bases: Set[str] = field(default_factory=set)
+    #: receivers of method calls inside the loop (may be mutated by them).
+    method_receivers: Set[str] = field(default_factory=set)
+
+
+_ALLOC_DISPLAYS = ((ast.List, "list literal"), (ast.Tuple, "tuple literal"),
+                   (ast.Set, "set literal"), (ast.Dict, "dict literal"))
+_ALLOC_COMPS = ((ast.ListComp, "list comprehension"),
+                (ast.SetComp, "set comprehension"),
+                (ast.DictComp, "dict comprehension"),
+                (ast.GeneratorExp, "generator expression"))
+
+
+class _RegionScanner:
+    """Collects :class:`_LoopFacts` from one loop's per-iteration region.
+
+    Comprehension targets and lambda parameters shadow outer names, so a
+    shadow stack keeps their loads out of the invariance bookkeeping (a
+    shadowed root can never be proved invariant by the function's def-use
+    chains — it is not a function local at all).
+    """
+
+    def __init__(self, facts: _LoopFacts) -> None:
+        self.facts = facts
+        self._shadow: List[Set[str]] = []
+
+    def _shadowed(self, name: str) -> bool:
+        return any(name in layer for layer in self._shadow)
+
+    def _alloc(self, node: ast.AST, description: str) -> None:
+        shadowed = frozenset().union(*self._shadow) if self._shadow \
+            else frozenset()
+        self.facts.allocs.append((node, description, shadowed))
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                isinstance(node.func.ctx, ast.Load):
+            chain = dotted_name(node.func)
+            if chain is not None:
+                # Record the callee chain as a call head only; the
+                # arguments are scanned normally.
+                if not self._shadowed(chain.split(".", 1)[0]):
+                    self.facts.chains.setdefault(chain, []).append(node.func)
+                for argument in node.args:
+                    self.visit(argument)
+                for keyword in node.keywords:
+                    self.visit(keyword.value)
+                return
+            self._generic(node)
+            return
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.ctx, ast.Load):
+                chain = dotted_name(node)
+                if chain is not None and \
+                        not self._shadowed(chain.split(".", 1)[0]):
+                    self.facts.chains.setdefault(chain, []).append(node)
+                    self.facts.value_loaded.add(chain)
+                if chain is not None:
+                    return      # a pure chain has nothing else beneath it
+            self._generic(node)
+            return
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load) and not self._shadowed(node.id):
+                self.facts.names.setdefault(node.id, []).append(node)
+            return
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.ctx, ast.Load):
+                base = dotted_name(node.value)
+                key = _key_repr(node.slice)
+                if base is not None and key is not None and \
+                        not self._shadowed(base.split(".", 1)[0]):
+                    self.facts.subscripts.setdefault(
+                        (base, key), []).append(node)
+            self._generic(node)
+            return
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.In, ast.NotIn)):
+                    self.facts.members.append((node, comparator))
+            self._generic(node)
+            return
+        if isinstance(node, ast.Lambda):
+            self._alloc(node, "lambda")
+            for default in list(node.args.defaults) + \
+                    [d for d in node.args.kw_defaults if d is not None]:
+                self.visit(default)
+            return                      # the body does not run per iteration
+        for comp_type, description in _ALLOC_COMPS:
+            if isinstance(node, comp_type):
+                self._alloc(node, description)
+                self._visit_comprehension(node)
+                return
+        for display_type, description in _ALLOC_DISPLAYS:
+            if isinstance(node, display_type) and \
+                    isinstance(getattr(node, "ctx", ast.Load()), ast.Load):
+                elements = node.keys if isinstance(node, ast.Dict) \
+                    else node.elts
+                if elements:
+                    self._alloc(node, description)
+                break
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._alloc(node, f"nested function '{node.name}'")
+            for decorator in node.decorator_list:
+                self.visit(decorator)
+            for default in list(node.args.defaults) + \
+                    [d for d in node.args.kw_defaults if d is not None]:
+                self.visit(default)
+            return
+        self._generic(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        generators: Sequence[ast.comprehension] = node.generators
+        self.visit(generators[0].iter)
+        bound: Set[str] = set()
+        for generator in generators:
+            for name_node in ast.walk(generator.target):
+                if isinstance(name_node, ast.Name):
+                    bound.add(name_node.id)
+        self._shadow.append(bound)
+        for index, generator in enumerate(generators):
+            if index > 0:
+                self.visit(generator.iter)
+            for condition in generator.ifs:
+                self.visit(condition)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        self._shadow.pop()
+
+    def _generic(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.expr, ast.keyword, ast.Starred)):
+                self.visit(child)
+            elif isinstance(child, ast.AST) and not isinstance(
+                    child, (ast.expr_context, ast.operator, ast.cmpop,
+                            ast.boolop, ast.unaryop)):
+                self.visit(child)
+
+
+def _key_repr(key: ast.expr) -> Optional[str]:
+    """A stable rendering of a subscript key, or None if it is not simple."""
+    if isinstance(key, ast.Constant):
+        return repr(key.value)
+    if isinstance(key, ast.Name) and isinstance(key.ctx, ast.Load):
+        return key.id
+    return None
+
+
+def _collect_loop_facts(loop: LoopNest) -> _LoopFacts:
+    facts = _LoopFacts()
+    for node in ast.walk(loop.node):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.ctx, (ast.Store, ast.Del)):
+            chain = dotted_name(node)
+            if chain is not None:
+                facts.attr_stores.add(chain)
+        elif isinstance(node, ast.Subscript) and \
+                isinstance(node.ctx, (ast.Store, ast.Del)):
+            base = dotted_name(node.value)
+            if base is not None:
+                facts.subscript_store_bases.add(base)
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute):
+            receiver = dotted_name(node.func.value)
+            if receiver is not None:
+                facts.method_receivers.add(receiver)
+    scanner = _RegionScanner(facts)
+    for expr in iter_loop_exprs(loop.node):
+        scanner.visit(expr)
+    return facts
+
+
+# -- invariance proofs --------------------------------------------------------
+
+class _Invariance:
+    """Reaching-definitions-based loop-invariance queries for one function."""
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+        self.def_use = info.def_use()
+        self.scope = info.scope
+
+    def name_invariant(self, name_node: ast.Name, loop: LoopNest) -> bool:
+        """All reaching definitions of this load lie outside the loop."""
+        reaching = self.def_use.defs_of_use.get(id(name_node))
+        if reaching is None:
+            # Not a function local: a global or builtin.  Invariant unless
+            # the function rebinds it through a ``global`` declaration.
+            return name_node.id not in self.scope.globals_declared
+        definitions = self.def_use.definitions
+        return all(not loop.contains(definitions[def_id].node)
+                   for def_id in reaching)
+
+    def chain_invariant(self, nodes: Sequence[ast.Attribute], chain: str,
+                        loop: LoopNest, facts: _LoopFacts) -> bool:
+        if _chain_prefix_stored(chain, facts.attr_stores):
+            return False
+        for node in nodes:
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if not isinstance(root, ast.Name) or \
+                    not self.name_invariant(root, loop):
+                return False
+        return True
+
+
+def _chain_prefix_stored(chain: str, stores: Set[str]) -> bool:
+    return any(chain == stored or chain.startswith(f"{stored}.")
+               for stored in stores)
+
+
+def _owner_method_called(chain: str, receivers: Set[str]) -> bool:
+    """A method call on a *proper* prefix of ``chain`` may rebind the
+    attribute the chain reads (e.g. ``self.step()`` bumping
+    ``self.count``), so a cached value would go stale."""
+    return any(chain != receiver and chain.startswith(f"{receiver}.")
+               for receiver in receivers)
+
+
+def _module_top_level(tree: ast.Module) -> Tuple[Set[str],
+                                                 Dict[str, ast.expr]]:
+    """Names defined at module top level, and their assigned value nodes."""
+    names: Set[str] = set()
+    values: Dict[str, ast.expr] = {}
+    for statement in tree.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name) and \
+                            isinstance(node.ctx, ast.Store):
+                        names.add(node.id)
+                if isinstance(target, ast.Name):
+                    values[target.id] = statement.value
+        elif isinstance(statement, ast.AnnAssign) and \
+                isinstance(statement.target, ast.Name):
+            names.add(statement.target.id)
+            if statement.value is not None:
+                values[statement.target.id] = statement.value
+        elif isinstance(statement, (ast.Import, ast.ImportFrom)):
+            for alias in statement.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+            names.add(statement.name)
+    return names, values
+
+
+def _is_sequence_build(value: ast.expr) -> Optional[str]:
+    """'list'/'tuple' if the expression builds one, else None."""
+    if isinstance(value, ast.List) or isinstance(value, ast.ListComp):
+        return "list"
+    if isinstance(value, ast.Tuple):
+        return "tuple"
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) and \
+            value.func.id in ("list", "tuple") and not value.keywords:
+        return value.func.id
+    return None
+
+
+# -- the per-module scan (shared by P1-P4) ------------------------------------
+
+def _module_perf_findings(module: Module,
+                          model: HotModel) -> Dict[str, List[Finding]]:
+    cached = module.analysis_cache.get(_SCAN_KEY)
+    if cached is None:
+        cached = _scan_module(module, model)
+        module.analysis_cache[_SCAN_KEY] = cached
+    findings: Dict[str, List[Finding]] = cached
+    return findings
+
+
+def _scan_module(module: Module,
+                 model: HotModel) -> Dict[str, List[Finding]]:
+    out: Dict[str, List[Finding]] = {"P1": [], "P2": [], "P3": [], "P4": []}
+    package_hot = module_in_hot_package(module.rel)
+    global_names, global_values = _module_top_level(module.tree)
+    for info in function_infos(module):
+        if not model.function_is_hot(info, package_hot):
+            continue
+        invariance = _Invariance(info)
+        for loop in loop_nests(info.func):
+            facts = _collect_loop_facts(loop)
+            _check_loop(module, loop, facts, invariance,
+                        global_names, global_values, out)
+    return out
+
+
+def _finding(rule: str, module: Module, node: ast.AST, message: str
+             ) -> Finding:
+    return Finding(rule=rule, path=module.rel,
+                   line=getattr(node, "lineno", 1),
+                   col=getattr(node, "col_offset", 0),
+                   message=message, severity=Severity.WARNING)
+
+
+def _check_loop(module: Module, loop: LoopNest, facts: _LoopFacts,
+                invariance: _Invariance, global_names: Set[str],
+                global_values: Dict[str, ast.expr],
+                out: Dict[str, List[Finding]]) -> None:
+    # P4 first: its findings subsume same-base P2 chain findings.
+    p4_bases: Set[str] = set()
+    for (base, key), nodes in sorted(facts.subscripts.items()):
+        if len(nodes) < 2:
+            continue
+        if base in facts.subscript_store_bases or \
+                base in facts.method_receivers or \
+                _owner_method_called(base, facts.method_receivers):
+            continue
+        if not _base_invariant(base, nodes, invariance, loop, facts):
+            continue
+        if not _subscript_key_invariant(nodes, invariance, loop):
+            continue
+        first = min(nodes, key=lambda n: (n.lineno, n.col_offset))
+        out["P4"].append(_finding(
+            "P4", module, first,
+            f"'{base}[{key}]' indexed {len(nodes)} times with a "
+            "loop-invariant key inside a hot loop; bind it to a local "
+            "before the loop"))
+        p4_bases.add(base)
+
+    # P2: invariant attribute chains (and bare globals) loaded per iteration.
+    for chain, nodes in sorted(facts.chains.items()):
+        if chain in p4_bases:
+            continue
+        if len(nodes) < 2 and loop.depth < 2:
+            continue
+        if chain in facts.value_loaded and \
+                _owner_method_called(chain, facts.method_receivers):
+            continue
+        if not invariance.chain_invariant(nodes, chain, loop, facts):
+            continue
+        first = min(nodes, key=lambda n: (n.lineno, n.col_offset))
+        out["P2"].append(_finding(
+            "P2", module, first,
+            f"loop-invariant attribute load '{chain}' inside a hot loop; "
+            "hoist it to a local before the loop"))
+    for name, nodes in sorted(facts.names.items()):
+        if len(nodes) < 2 or name in _BUILTIN_NAMES:
+            continue
+        if name not in global_names or name in invariance.scope.local_names \
+                or name in invariance.scope.globals_declared:
+            continue
+        first = min(nodes, key=lambda n: (n.lineno, n.col_offset))
+        out["P2"].append(_finding(
+            "P2", module, first,
+            f"loop-invariant global load '{name}' inside a hot loop; "
+            "bind it to a local before the loop"))
+
+    # P3: membership against list/tuple containers.
+    for compare, container in facts.members:
+        if isinstance(container, (ast.List, ast.Tuple)) and container.elts:
+            kind = "list" if isinstance(container, ast.List) else "tuple"
+            out["P3"].append(_finding(
+                "P3", module, compare,
+                f"membership test against a {kind} literal inside a hot "
+                "loop; use a set or frozenset literal"))
+            continue
+        if not isinstance(container, ast.Name) or \
+                not isinstance(container.ctx, ast.Load):
+            continue
+        name = container.id
+        if name in facts.subscript_store_bases or \
+                name in facts.method_receivers:
+            continue
+        build = _container_build_kind(container, invariance, loop,
+                                      global_values)
+        if build is None:
+            continue
+        out["P3"].append(_finding(
+            "P3", module, compare,
+            f"membership test against '{name}', which is built as a "
+            f"{build}, inside a hot loop; build it as a set/frozenset for "
+            "O(1) lookups"))
+
+    # P1: loop-invariant allocations.  Membership comparators belong to
+    # P3, and CPython's peephole folds all-constant tuple displays into
+    # code-object constants, so neither is a per-iteration allocation.
+    comparators = {id(container) for _, container in facts.members}
+    for node, description, shadowed in facts.allocs:
+        if id(node) in comparators or _constant_folded(node):
+            continue
+        if not _alloc_invariant(node, invariance, loop, shadowed, facts):
+            continue
+        out["P1"].append(_finding(
+            "P1", module, node,
+            f"loop-invariant {description} allocated on every iteration "
+            "of a hot loop; build it once before the loop"))
+
+
+def _base_invariant(base: str, nodes: Sequence[ast.Subscript],
+                    invariance: _Invariance, loop: LoopNest,
+                    facts: _LoopFacts) -> bool:
+    if _chain_prefix_stored(base, facts.attr_stores):
+        return False
+    for node in nodes:
+        root = node.value
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if not isinstance(root, ast.Name) or \
+                not invariance.name_invariant(root, loop):
+            return False
+    return True
+
+
+def _subscript_key_invariant(nodes: Sequence[ast.Subscript],
+                             invariance: _Invariance,
+                             loop: LoopNest) -> bool:
+    for node in nodes:
+        key = node.slice
+        if isinstance(key, ast.Constant):
+            continue
+        if isinstance(key, ast.Name) and \
+                invariance.name_invariant(key, loop):
+            continue
+        return False
+    return True
+
+
+def _container_build_kind(container: ast.Name, invariance: _Invariance,
+                          loop: LoopNest,
+                          global_values: Dict[str, ast.expr]
+                          ) -> Optional[str]:
+    reaching = invariance.def_use.defs_of_use.get(id(container))
+    if reaching is None:
+        value = global_values.get(container.id)
+        return _is_sequence_build(value) if value is not None else None
+    if not reaching:
+        return None
+    kinds: Set[str] = set()
+    definitions = invariance.def_use.definitions
+    for def_id in reaching:
+        definition = definitions[def_id]
+        if loop.contains(definition.node):
+            return None
+        element = definition.element
+        if element is None or not isinstance(element.node, ast.Assign):
+            return None
+        kind = _is_sequence_build(element.node.value)
+        if kind is None:
+            return None
+        kinds.add(kind)
+    return kinds.pop() if len(kinds) == 1 else "list/tuple"
+
+
+def _constant_folded(node: ast.AST) -> bool:
+    return isinstance(node, ast.Tuple) and bool(node.elts) and \
+        all(isinstance(elt, ast.Constant) for elt in node.elts)
+
+
+def _alloc_invariant(node: ast.AST, invariance: _Invariance,
+                     loop: LoopNest,
+                     shadowed: FrozenSet[str],
+                     facts: _LoopFacts) -> bool:
+    scanner = _FreeLoadScanner()
+    scanner.visit_node(node)
+    for chain in scanner.attr_chains:
+        # An attribute value read while building the allocation: a store
+        # through any prefix, or a method call on a proper prefix, can
+        # change it between iterations.
+        if _chain_prefix_stored(chain, facts.attr_stores) or \
+                _owner_method_called(chain, facts.method_receivers):
+            return False
+    for load in scanner.loads:
+        if load.id in shadowed:
+            return False        # reads a comprehension target: per-item
+        reaching = invariance.def_use.defs_of_use.get(id(load))
+        if reaching is None:
+            if load.id in invariance.scope.local_names:
+                # A local load the def-use pass never saw (e.g. inside a
+                # nested scope): assume variant rather than misreport.
+                return False
+            if load.id in invariance.scope.globals_declared:
+                return False
+            continue
+        definitions = invariance.def_use.definitions
+        if any(loop.contains(definitions[def_id].node)
+               for def_id in reaching):
+            return False
+    return True
+
+
+class _FreeLoadScanner:
+    """Name loads an allocation expression evaluates, nested scopes and
+    comprehension targets excluded (mirrors the dataflow name scanner)."""
+
+    def __init__(self) -> None:
+        self.loads: List[ast.Name] = []
+        self.attr_chains: Set[str] = set()
+        self._shadow: List[Set[str]] = []
+
+    def _shadowed(self, name: str) -> bool:
+        return any(name in layer for layer in self._shadow)
+
+    def visit_node(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load) and \
+                    not self._shadowed(node.id):
+                self.loads.append(node)
+            return
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.ctx, ast.Load):
+            chain = dotted_name(node)
+            if chain is not None and \
+                    not self._shadowed(chain.split(".", 1)[0]):
+                self.attr_chains.add(chain)
+        if isinstance(node, ast.Lambda):
+            for default in list(node.args.defaults) + \
+                    [d for d in node.args.kw_defaults if d is not None]:
+                self.visit_node(default)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                self.visit_node(decorator)
+            for default in list(node.args.defaults) + \
+                    [d for d in node.args.kw_defaults if d is not None]:
+                self.visit_node(default)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            generators: Sequence[ast.comprehension] = node.generators
+            self.visit_node(generators[0].iter)
+            bound: Set[str] = set()
+            for generator in generators:
+                for name_node in ast.walk(generator.target):
+                    if isinstance(name_node, ast.Name):
+                        bound.add(name_node.id)
+            self._shadow.append(bound)
+            for index, generator in enumerate(generators):
+                if index > 0:
+                    self.visit_node(generator.iter)
+                for condition in generator.ifs:
+                    self.visit_node(condition)
+            if isinstance(node, ast.DictComp):
+                self.visit_node(node.key)
+                self.visit_node(node.value)
+            else:
+                self.visit_node(node.elt)
+            self._shadow.pop()
+            return
+        for child in ast.iter_child_nodes(node):
+            self.visit_node(child)
+
+
+# -- rule classes -------------------------------------------------------------
+
+class _LoopPerfRule(PerfRule):
+    """Shared driver for P1-P4 (one scan per module feeds all four)."""
+
+    def check_project(self, modules: Sequence[Module]) -> List[Finding]:
+        model = self.model(modules)
+        findings: List[Finding] = []
+        for module in modules:
+            findings.extend(_module_perf_findings(module, model)[self.id])
+        return findings
+
+
+@register
+class P1HotLoopAllocation(_LoopPerfRule):
+    id = "P1"
+    title = "Loop-invariant allocation inside a hot loop"
+    rationale = ("Containers, comprehensions and closures allocated per "
+                 "cycle dominate Python-level simulation cost; an "
+                 "allocation whose free names are all loop-invariant can "
+                 "be built once before the loop.")
+
+
+@register
+class P2UnhoistedInvariantLoad(_LoopPerfRule):
+    id = "P2"
+    title = "Loop-invariant attribute/global load not hoisted to a local"
+    rationale = ("Attribute chains and module globals are re-resolved on "
+                 "every load; reaching definitions prove the value cannot "
+                 "change inside the loop, so a local alias is free "
+                 "speedup with identical counters.")
+
+
+@register
+class P3LinearMembershipInHotLoop(_LoopPerfRule):
+    id = "P3"
+    title = "Membership test against a list/tuple inside a hot loop"
+    rationale = ("`x in <list/tuple>` is a linear scan per iteration; a "
+                 "set or frozenset built once makes it O(1) without "
+                 "changing results.")
+
+
+@register
+class P4RepeatedInvariantIndexing(_LoopPerfRule):
+    id = "P4"
+    title = "Repeated subscript with an invariant base and key"
+    rationale = ("Indexing the same container with the same invariant key "
+                 "several times per iteration repeats hash/bounds work the "
+                 "first lookup already paid for; bind the element to a "
+                 "local.")
+
+
+# -- P5: telemetry guards in fast-mode-reachable code -------------------------
+
+def _guard_facts(test: ast.expr) -> Tuple[Set[str], Set[str]]:
+    """Chains proved non-None when ``test`` is true / false."""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 and \
+            len(test.comparators) == 1:
+        left = dotted_name(test.left)
+        comparator = test.comparators[0]
+        if left is not None and isinstance(comparator, ast.Constant) and \
+                comparator.value is None:
+            if isinstance(test.ops[0], ast.IsNot):
+                return {left}, set()
+            if isinstance(test.ops[0], ast.Is):
+                return set(), {left}
+        return set(), set()
+    chain = dotted_name(test)
+    if chain is not None:
+        return {chain}, set()
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        positive, negative = _guard_facts(test.operand)
+        return negative, positive
+    if isinstance(test, ast.BoolOp):
+        if isinstance(test.op, ast.And):
+            positive = set()
+            for value in test.values:
+                positive |= _guard_facts(value)[0]
+            return positive, set()
+        negative = set()
+        for value in test.values:
+            negative |= _guard_facts(value)[1]
+        return set(), negative
+    return set(), set()
+
+
+def _always_exits(body: Sequence[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+class _GuardWalker:
+    """Finds hub method calls not dominated by a ``None``/truthiness check."""
+
+    def __init__(self, is_hub_call: Callable[[ast.Call], Optional[str]],
+                 report: Callable[[ast.Call, str], None]) -> None:
+        self.is_hub_call = is_hub_call
+        self.report = report
+
+    def walk(self, statements: Sequence[ast.stmt],
+             guarded: FrozenSet[str]) -> None:
+        current = set(guarded)
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue
+            if isinstance(statement, ast.If):
+                self.check_expr(statement.test, frozenset(current))
+                positive, negative = _guard_facts(statement.test)
+                self.walk(statement.body, frozenset(current | positive))
+                self.walk(statement.orelse, frozenset(current | negative))
+                if not statement.orelse and _always_exits(statement.body):
+                    current |= negative
+                elif _always_exits(statement.orelse):
+                    current |= positive
+                continue
+            if isinstance(statement, ast.While):
+                self.check_expr(statement.test, frozenset(current))
+                positive, _ = _guard_facts(statement.test)
+                self.walk(statement.body, frozenset(current | positive))
+                self.walk(statement.orelse, frozenset(current))
+                continue
+            if isinstance(statement, (ast.For, ast.AsyncFor)):
+                self.check_expr(statement.iter, frozenset(current))
+                self.walk(statement.body, frozenset(current))
+                self.walk(statement.orelse, frozenset(current))
+                continue
+            if isinstance(statement, ast.Try):
+                self.walk(statement.body, frozenset(current))
+                for handler in statement.handlers:
+                    self.walk(handler.body, frozenset(current))
+                self.walk(statement.orelse, frozenset(current))
+                self.walk(statement.finalbody, frozenset(current))
+                continue
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                for item in statement.items:
+                    self.check_expr(item.context_expr, frozenset(current))
+                self.walk(statement.body, frozenset(current))
+                continue
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    self.check_expr(child, frozenset(current))
+            # Storing to a guarded chain invalidates its guarantee.
+            for target in ast.walk(statement):
+                if isinstance(target, (ast.Attribute, ast.Name)) and \
+                        isinstance(getattr(target, "ctx", None),
+                                   (ast.Store, ast.Del)):
+                    stored = dotted_name(target)
+                    if stored is not None:
+                        current = {chain for chain in current
+                                   if chain != stored and
+                                   not chain.startswith(f"{stored}.")}
+
+    def check_expr(self, expr: ast.AST,
+                   guarded: FrozenSet[str]) -> None:
+        if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.And):
+            accumulated = set(guarded)
+            for value in expr.values:
+                self.check_expr(value, frozenset(accumulated))
+                accumulated |= _guard_facts(value)[0]
+            return
+        if isinstance(expr, ast.IfExp):
+            self.check_expr(expr.test, guarded)
+            positive, negative = _guard_facts(expr.test)
+            self.check_expr(expr.body, frozenset(guarded | positive))
+            self.check_expr(expr.orelse, frozenset(guarded | negative))
+            return
+        if isinstance(expr, ast.Lambda):
+            return
+        if isinstance(expr, ast.Call):
+            chain = self.is_hub_call(expr)
+            if chain is not None and chain not in guarded:
+                self.report(expr, chain)
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.AST) and not isinstance(
+                    child, (ast.expr_context, ast.operator, ast.cmpop,
+                            ast.boolop, ast.unaryop)):
+                self.check_expr(child, guarded)
+
+
+@register
+class P5UnguardedTelemetryInFastPath(PerfRule):
+    id = "P5"
+    title = "Unguarded telemetry call in fast-mode-reachable code"
+    severity = Severity.ERROR
+    rationale = ("Fast mode runs with no telemetry hub at all — that is "
+                 "where its speedup and bit-identity contract come from; "
+                 "a hub method call reachable from the fast serve loop "
+                 "must be dominated by an `is not None`/truthiness guard "
+                 "or it crashes (or silently re-enables telemetry cost).")
+
+    def check_project(self, modules: Sequence[Module]) -> List[Finding]:
+        model = self.model(modules)
+        scoped = {module.rel for module in modules}
+        findings: List[Finding] = []
+        for fid in sorted(model.fast_fids):
+            decl = model.graph.functions[fid]
+            if decl.module_rel not in scoped:
+                continue
+            findings.extend(self._check_function(fid, model))
+        return findings
+
+    def _check_function(self, fid: str, model: HotModel) -> List[Finding]:
+        decl = model.graph.functions[fid]
+        attr_types: Dict[str, str] = {}
+        if decl.class_name is not None:
+            for class_decl in model.graph.classes.get(decl.class_name, []):
+                if class_decl.module_rel == decl.module_rel:
+                    attr_types.update(class_decl.attr_types)
+
+        def is_hub_call(call: ast.Call) -> Optional[str]:
+            func = call.func
+            if not isinstance(func, ast.Attribute) or \
+                    func.attr not in _HUB_METHODS:
+                return None
+            chain = dotted_name(func.value)
+            if chain is None:
+                return None
+            segments = chain.split(".")
+            if segments[-1] in _HUB_NAME_HINTS:
+                return chain
+            if len(segments) == 2 and segments[0] == "self" and \
+                    attr_types.get(segments[1]) == "TelemetryHub":
+                return chain
+            return None
+
+        findings: List[Finding] = []
+        evidence = self._evidence_chain(fid, model)
+
+        def report(call: ast.Call, chain: str) -> None:
+            method = call.func.attr if isinstance(call.func, ast.Attribute) \
+                else "emit"
+            findings.append(Finding(
+                rule=self.id, path=decl.module_rel, line=call.lineno,
+                col=call.col_offset, severity=self.severity,
+                chain=evidence,
+                message=(f"telemetry call '{chain}.{method}(...)' in "
+                         f"'{decl.qualname}' is reachable from the fast "
+                         "serve loop but not dominated by a "
+                         f"'{chain} is not None' guard; fast mode runs "
+                         "with no hub")))
+
+        body: Sequence[ast.stmt] = getattr(decl.node, "body", [])
+        _GuardWalker(is_hub_call, report).walk(body, frozenset())
+        return findings
+
+    @staticmethod
+    def _evidence_chain(fid: str, model: HotModel) -> Tuple[str, ...]:
+        path: List[str] = []
+        cursor: Optional[str] = fid
+        while cursor is not None:
+            decl = model.graph.functions[cursor]
+            path.append(f"{decl.qualname} ({decl.module_rel}:{decl.line})")
+            cursor = model.fast_parent.get(cursor)
+        return tuple(reversed(path))

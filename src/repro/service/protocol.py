@@ -168,6 +168,12 @@ def execute_spec(spec: JobSpec, strict: bool = True) -> SimulationResult:
                            spec.max_entries_per_line)
     config = _dataclasses.replace(
         config, warmup_instructions=spec.warmup_instructions)
+    if not config.telemetry.enabled:
+        # Service jobs are counters-only (no hub is ever attached here),
+        # so they can take the specialized fast serve loop; the result is
+        # bit-identical to the stepped loop (tests/test_fast_mode.py and
+        # the differential test in tests/test_service_protocol.py).
+        config = config.with_fast_mode()
     trace = workload_trace(spec.workload, spec.num_instructions,
                            seed=spec.seed, engine=spec.engine,
                            engine_params=dict(spec.engine_params))

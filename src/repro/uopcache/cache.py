@@ -341,23 +341,26 @@ class UopCache:
         set (CLASP entries starting in line ``L-1`` may span into ``L``).
         Returns the number of entries invalidated.
         """
-        line_address = (line_address // self.icache_line_bytes) * \
-            self.icache_line_bytes
+        line_bytes = self.icache_line_bytes
+        line_address = (line_address // line_bytes) * line_bytes
         sets_to_probe = {self.set_index(line_address)}
         if self.config.clasp:
             for back in range(1, self.config.clasp_max_lines):
                 sets_to_probe.add(
-                    self.set_index(line_address - back * self.icache_line_bytes))
+                    self.set_index(line_address - back * line_bytes))
         removed = 0
+        sets = self._sets
+        index = self._index
         for set_index in sorted(sets_to_probe):
-            for way, line in enumerate(self._sets[set_index]):
+            for way, line in enumerate(sets[set_index]):
                 keep = []
+                push = keep.append
                 for entry in line.entries:
-                    if entry.overlaps_line(line_address, self.icache_line_bytes):
-                        self._index[set_index].pop(entry.start_pc, None)
+                    if entry.overlaps_line(line_address, line_bytes):
+                        index[set_index].pop(entry.start_pc, None)
                         removed += 1
                     else:
-                        keep.append(entry)
+                        push(entry)
                 line.entries = keep
         self._invalidated_entries.increment(removed)
         if self._telemetry is not None:
@@ -366,10 +369,12 @@ class UopCache:
         return removed
 
     def flush(self) -> None:
+        sets = self._sets
+        index = self._index
         for set_index in range(self.config.num_sets):
             for way in range(self.config.associativity):
-                self._sets[set_index][way].entries = []
-            self._index[set_index].clear()
+                sets[set_index][way].entries = []
+            index[set_index].clear()
 
     # -- observability ------------------------------------------------------------
 
@@ -470,30 +475,34 @@ class UopCache:
     def utilization(self) -> float:
         """Used bytes over total usable bytes across valid lines."""
         cfg = self.config
+        usable = cfg.usable_line_bytes
         used = total = 0
         for ways in self._sets:
             for line in ways:
                 if line.valid:
                     used += line.used_bytes(cfg)
-                    total += cfg.usable_line_bytes
+                    total += usable
         return used / total if total else 0.0
 
     def check_invariants(self) -> None:
         """Validate internal consistency (used by property tests)."""
         cfg = self.config
+        usable = cfg.usable_line_bytes
+        max_entries = max(1, cfg.max_entries_per_line
+                          if cfg.compaction is not CompactionPolicy.NONE
+                          else 1)
+        set_index_of = self.set_index
         for set_index, ways in enumerate(self._sets):
             seen: Dict[int, int] = {}
             for way, line in enumerate(ways):
-                if line.used_bytes(cfg) > cfg.usable_line_bytes:
+                if line.used_bytes(cfg) > usable:
                     raise CacheError(
                         f"set {set_index} way {way} overflows its line")
-                if len(line.entries) > max(1, cfg.max_entries_per_line if
-                                           cfg.compaction is not
-                                           CompactionPolicy.NONE else 1):
+                if len(line.entries) > max_entries:
                     raise CacheError(
                         f"set {set_index} way {way} holds too many entries")
                 for entry in line.entries:
-                    if self.set_index(entry.start_pc) != set_index:
+                    if set_index_of(entry.start_pc) != set_index:
                         raise CacheError(
                             f"entry {entry.start_pc:#x} in wrong set")
                     if entry.start_pc in seen:

@@ -1,0 +1,24 @@
+"""P1 fixture, fixed: invariant allocations hoisted; per-iteration data
+that genuinely depends on the loop stays inline and is not flagged."""
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+
+    def steps(self):
+        kinds = ["load", "store", "branch"]
+        table = {kind: 0 for kind in kinds}
+        while self.cycle < self.limit:
+            row = [self.cycle, len(table)]  # depends on the loop: fine
+            self.cycle += len(row) + len(kinds)
+
+
+def cold_helper():
+    """Not reachable from Simulator.steps, so its loop is not hot."""
+    total = 0
+    for i in range(8):
+        scratch = [1, 2, 3]
+        total += len(scratch) + i
+    return total

@@ -1,0 +1,12 @@
+"""P1 fixture: the per-iteration build is intentional and acknowledged."""
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+
+    def steps(self):
+        while self.cycle < self.limit:
+            kinds = ["load", "store", "branch"]  # simlint: disable=P1
+            self.cycle += len(kinds)

@@ -1,0 +1,13 @@
+"""P1 fixture: loop-invariant allocations built on every hot iteration."""
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+
+    def steps(self):
+        while self.cycle < self.limit:
+            kinds = ["load", "store", "branch"]
+            table = {kind: 0 for kind in ("load", "store", "branch")}
+            self.cycle += len(table) + len(kinds)

@@ -1,0 +1,28 @@
+"""P2 fixture, fixed: invariant loads hoisted to locals; loads that a
+loop-body store or an owner method call can rebind stay inline."""
+
+WINDOW = 16
+
+
+class Core:
+    def __init__(self):
+        self.ports = 4
+
+    def rebalance(self):
+        self.ports += 1
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+        self.core = Core()
+
+    def steps(self):
+        limit = self.limit
+        window = WINDOW
+        width = self.core.ports
+        while self.cycle < limit:
+            self.core.rebalance()
+            live = self.core.ports  # rebalance() mutates core: not invariant
+            self.cycle += width + window + live

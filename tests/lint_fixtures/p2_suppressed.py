@@ -1,0 +1,14 @@
+"""P2 fixture: the re-resolved load is intentional and acknowledged."""
+
+WINDOW = 16
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+
+    def steps(self):
+        while self.cycle < self.limit:
+            # simlint: disable-next-line=P2
+            self.cycle += WINDOW + WINDOW

@@ -1,0 +1,22 @@
+"""P2 fixture: loop-invariant attribute and global loads re-resolved per
+iteration."""
+
+WINDOW = 16
+
+
+class Core:
+    def __init__(self):
+        self.ports = 4
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+        self.core = Core()
+
+    def steps(self):
+        while self.cycle < self.limit:
+            width = self.core.ports  # depth-2 chain, never reassigned
+            spare = self.core.ports - 1
+            self.cycle += width + spare + WINDOW + WINDOW

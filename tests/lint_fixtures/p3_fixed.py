@@ -1,0 +1,19 @@
+"""P3 fixture, fixed: membership goes through sets built once."""
+
+STOP_KINDS = frozenset(("serialize", "fence"))
+FAST_KINDS = frozenset(("load", "store", "branch"))
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+        self.kind = "load"
+
+    def steps(self):
+        kind = self.kind
+        while self.cycle < self.limit:
+            if kind in FAST_KINDS:
+                self.cycle += 1
+            if kind in STOP_KINDS:
+                break

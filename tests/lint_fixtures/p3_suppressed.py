@@ -1,0 +1,13 @@
+"""P3 fixture: the two-element scan is intentional and acknowledged."""
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+        self.kind = "load"
+
+    def steps(self):
+        while self.cycle < self.limit:
+            if self.kind in ("load", "store"):  # simlint: disable=P3
+                self.cycle += 1

@@ -1,0 +1,18 @@
+"""P3 fixture: linear membership scans inside the hot loop."""
+
+STOP_KINDS = ["serialize", "fence"]
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+        self.kind = "load"
+
+    def steps(self):
+        kind = self.kind
+        while self.cycle < self.limit:
+            if kind in ("load", "store", "branch"):
+                self.cycle += 1
+            if kind in STOP_KINDS:
+                break

@@ -1,0 +1,21 @@
+"""P4 fixture, fixed: the invariant lookup is hoisted; loop-varying keys
+and written-through subscripts stay inline."""
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+        self.stats = {"cycles": 0, "uops": 0}
+        self.rows = [0] * 8
+
+    def steps(self):
+        counters = self.stats
+        rows = self.rows
+        cycles_seen = counters["cycles"]
+        while self.cycle < self.limit:
+            if cycles_seen < 10:
+                self.cycle += cycles_seen + 1
+            index = self.cycle % 8
+            rows[index] += rows[index] and 1  # key varies per trip
+            counters["uops"] = counters["uops"] + 1  # written through: inline

@@ -1,0 +1,14 @@
+"""P4 fixture: repeated lookup kept for readability, acknowledged."""
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+        self.stats = {"cycles": 0}
+
+    def steps(self):
+        counters = self.stats
+        while self.cycle < self.limit:
+            # simlint: disable-next-line=P4
+            self.cycle += counters["cycles"] + counters["cycles"]

@@ -1,0 +1,15 @@
+"""P4 fixture: the same invariant subscript resolved twice per iteration."""
+
+
+class Simulator:
+    def __init__(self):
+        self.cycle = 0
+        self.limit = 100
+        self.stats = {"cycles": 0, "uops": 0}
+
+    def steps(self):
+        counters = self.stats
+        while self.cycle < self.limit:
+            if counters["cycles"] < 10:
+                total = counters["cycles"] + 1
+                self.cycle += total

@@ -1,0 +1,13 @@
+"""P5 fixture: the unguarded call is intentional (hub injected non-None
+by construction) and acknowledged."""
+
+
+class FastPath:
+    def __init__(self, telemetry):
+        self.telemetry = telemetry
+        self.served = 0
+
+    def run(self):
+        while self.served < 100:
+            self.telemetry.emit("serve", self.served)  # simlint: disable=P5
+            self.served += 1

@@ -1,0 +1,17 @@
+"""P5 fixture: telemetry hub calls reachable from the fast serve loop
+without a dominating None guard — one direct, one through a helper."""
+
+
+class FastPath:
+    def __init__(self, telemetry=None):
+        self.telemetry = telemetry
+        self.served = 0
+
+    def run(self):
+        while self.served < 100:
+            self.telemetry.emit("serve", self.served)
+            self._account()
+
+    def _account(self):
+        self.served += 1
+        self.telemetry.emit("account", self.served)

@@ -30,7 +30,8 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 
 EXPECTED_RULES = {"A1", "A2", "A3", "A4", "A5",
                   "C1", "C2", "C3", "C4", "C5", "D1", "D2", "D3",
-                  "F1", "F2", "F3", "F4", "X1", "X2", "X3"}
+                  "F1", "F2", "F3", "F4", "P1", "P2", "P3", "P4", "P5",
+                  "X1", "X2", "X3"}
 
 
 def run_fixture(*names, ignore_scope=True, root=FIXTURES):

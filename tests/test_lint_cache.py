@@ -1,0 +1,273 @@
+"""Tests for simlint's incremental analysis cache.
+
+Deterministic drills cover the cache lifecycle (cold populate, warm
+replay, fingerprint bust, deletions) and the directed invalidation
+closure; hypothesis properties pin the two contracts the CLI relies on:
+a warm hit replays byte-identical findings, and a single-file edit
+re-analyzes exactly that file plus its recorded dependency closure.
+"""
+
+import json
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lint import LintEngine, all_rules
+from repro.lint.cache import (
+    IncrementalCache,
+    dependency_closure,
+    engine_fingerprint,
+)
+
+CLEAN = "def f{i}():\n    return {i}\n"
+DIRTY = "import time\n\n\ndef f{i}():\n    return time.time()\n"
+
+
+def make_engine(root):
+    return LintEngine(root=root, rules=all_rules(), ignore_scope=True)
+
+
+def cached_run(root, cache_path, paths=None):
+    engine = make_engine(root)
+    cache = IncrementalCache.load(cache_path, root,
+                                  engine_fingerprint(engine))
+    report, stats = cache.run(engine, paths or [root])
+    return report, stats, cache
+
+
+def payload_of(report):
+    return json.dumps(
+        [f.to_dict() for f in sorted(report.findings,
+                                     key=lambda f: f.sort_key())],
+        sort_keys=True)
+
+
+def write_project(root, sources):
+    for name, text in sources.items():
+        (root / name).write_text(text)
+
+
+class TestLifecycle:
+    def test_cold_then_warm_replays_identical(self, tmp_path):
+        write_project(tmp_path, {"a.py": DIRTY.format(i=0),
+                                 "b.py": CLEAN.format(i=1)})
+        cache_path = tmp_path / ".cache.json"
+        cold, cold_stats, _ = cached_run(tmp_path, cache_path)
+        warm, warm_stats, _ = cached_run(tmp_path, cache_path)
+        assert cold_stats.reanalyzed == 2 and not cold_stats.replayed
+        assert warm_stats.reanalyzed == 0 and warm_stats.replayed
+        assert payload_of(warm) == payload_of(cold)
+        assert warm.files_checked == cold.files_checked
+
+    def test_warm_replay_keeps_suppressed_counts(self, tmp_path):
+        write_project(tmp_path, {
+            "a.py": "import time\n\n\ndef f():\n"
+                    "    return time.time()  # simlint: disable=D3\n"})
+        cache_path = tmp_path / ".cache.json"
+        cold, _, _ = cached_run(tmp_path, cache_path)
+        warm, stats, _ = cached_run(tmp_path, cache_path)
+        assert stats.replayed
+        assert warm.suppressed == cold.suppressed > 0
+
+    def test_fingerprint_change_discards_cache(self, tmp_path):
+        write_project(tmp_path, {"a.py": CLEAN.format(i=0)})
+        cache_path = tmp_path / ".cache.json"
+        cached_run(tmp_path, cache_path)
+        engine = make_engine(tmp_path)
+        cache = IncrementalCache.load(cache_path, tmp_path,
+                                      "different-fingerprint")
+        _, stats = cache.run(engine, [tmp_path])
+        assert stats.reanalyzed == 1    # cold again, no stale replay
+
+    def test_deleted_file_drops_its_findings(self, tmp_path):
+        write_project(tmp_path, {"a.py": DIRTY.format(i=0),
+                                 "b.py": CLEAN.format(i=1)})
+        cache_path = tmp_path / ".cache.json"
+        cold, _, _ = cached_run(tmp_path, cache_path)
+        assert any(f.path == "a.py" for f in cold.findings)
+        (tmp_path / "a.py").unlink()
+        after, _, _ = cached_run(tmp_path, cache_path)
+        assert all(f.path != "a.py" for f in after.findings)
+        assert after.files_checked == 1
+
+    def test_new_file_is_analyzed(self, tmp_path):
+        write_project(tmp_path, {"a.py": CLEAN.format(i=0)})
+        cache_path = tmp_path / ".cache.json"
+        cached_run(tmp_path, cache_path)
+        write_project(tmp_path, {"b.py": DIRTY.format(i=1)})
+        report, stats, _ = cached_run(tmp_path, cache_path)
+        assert "b.py" in stats.reanalyzed_files
+        assert any(f.path == "b.py" for f in report.findings)
+
+
+class TestDirectedInvalidation:
+    def test_leaf_edit_stays_local(self, tmp_path):
+        """Two unrelated files: touching one never dirties the other."""
+        write_project(tmp_path, {"a.py": CLEAN.format(i=0),
+                                 "b.py": CLEAN.format(i=1)})
+        cache_path = tmp_path / ".cache.json"
+        cached_run(tmp_path, cache_path)
+        (tmp_path / "b.py").write_text(CLEAN.format(i=1) + "# touched\n")
+        _, stats, _ = cached_run(tmp_path, cache_path)
+        assert stats.reanalyzed_files == ("b.py",)
+
+    def test_callee_edit_dirties_transitive_callers(self, tmp_path):
+        """a calls b calls c: editing c re-analyzes the whole chain
+        (effect findings in a flow through b into c)."""
+        write_project(tmp_path, {
+            "a.py": "from b import bar\n\n\ndef foo():\n    return bar()\n",
+            "b.py": "from c import baz\n\n\ndef bar():\n    return baz()\n",
+            "c.py": "def baz():\n    return 1\n"})
+        cache_path = tmp_path / ".cache.json"
+        cached_run(tmp_path, cache_path)
+        (tmp_path / "c.py").write_text("def baz():\n    return 2\n")
+        _, stats, _ = cached_run(tmp_path, cache_path)
+        assert stats.reanalyzed_files == ("a.py", "b.py", "c.py")
+
+    def test_caller_edit_dirties_transitive_callees(self, tmp_path):
+        """Editing the root re-analyzes what it (transitively) calls:
+        hot-region membership of the callees depends on the root."""
+        write_project(tmp_path, {
+            "a.py": "from b import bar\n\n\ndef foo():\n    return bar()\n",
+            "b.py": "from c import baz\n\n\ndef bar():\n    return baz()\n",
+            "c.py": "def baz():\n    return 1\n"})
+        cache_path = tmp_path / ".cache.json"
+        cached_run(tmp_path, cache_path)
+        (tmp_path / "a.py").write_text(
+            "from b import bar\n\n\ndef foo():\n    return bar() + 1\n")
+        _, stats, _ = cached_run(tmp_path, cache_path)
+        assert stats.reanalyzed_files == ("a.py", "b.py", "c.py")
+
+    def test_import_edges_invalidate_one_hop_only(self, tmp_path):
+        """Pure imports (no calls) couple one hop: editing c dirties its
+        importer b but not b's importer a — no transitive import cascade."""
+        write_project(tmp_path, {
+            "a.py": "import b\n\nA = 1\n",
+            "b.py": "import c\n\nB = 1\n",
+            "c.py": "C = 1\n"})
+        cache_path = tmp_path / ".cache.json"
+        cached_run(tmp_path, cache_path)
+        (tmp_path / "c.py").write_text("C = 2\n")
+        _, stats, _ = cached_run(tmp_path, cache_path)
+        assert stats.reanalyzed_files == ("b.py", "c.py")
+
+
+# -- hypothesis properties ----------------------------------------------------
+
+@st.composite
+def projects(draw):
+    """A small DAG of modules: each file may import lower-numbered files
+    and is either clean or carries a wall-clock (D3) violation."""
+    count = draw(st.integers(min_value=2, max_value=6))
+    sources = {}
+    imports = {}
+    for i in range(count):
+        name = f"m{i}.py"
+        targets = draw(st.sets(
+            st.integers(min_value=0, max_value=max(0, i - 1)),
+            max_size=min(i, 3))) if i else set()
+        lines = [f"import m{j}" for j in sorted(targets)]
+        if draw(st.booleans()):
+            lines += ["import time", "",
+                      f"def f{i}():", "    return time.time()"]
+        else:
+            lines += ["", f"def f{i}():", f"    return {i}"]
+        sources[name] = "\n".join(lines) + "\n"
+        imports[name] = {f"m{j}.py" for j in targets}
+    victim = draw(st.integers(min_value=0, max_value=count - 1))
+    return sources, imports, f"m{victim}.py"
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(projects())
+def test_single_edit_reanalyzes_exactly_the_closure(tmp_path, project):
+    sources, imports, victim = project
+    root = tmp_path / "proj"
+    root.mkdir(exist_ok=True)
+    for stale in root.glob("*"):
+        stale.unlink()
+    write_project(root, sources)
+    cache_path = tmp_path / "cache.json"
+    if cache_path.exists():
+        cache_path.unlink()
+    cached_run(root, cache_path)
+
+    (root / victim).write_text(sources[victim] + "# touched\n")
+    _, stats, _ = cached_run(root, cache_path)
+
+    # Import-only projects couple one undirected hop, nothing more.
+    expected = {victim}
+    for name, targets in imports.items():
+        if victim in targets:
+            expected.add(name)
+    expected |= imports[victim]
+    assert stats.reanalyzed_files == tuple(sorted(expected))
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(projects())
+def test_incremental_equals_fresh_run(tmp_path, project):
+    """After any single edit, the merged incremental report is
+    byte-identical to linting the edited tree from scratch."""
+    sources, imports, victim = project
+    root = tmp_path / "proj"
+    root.mkdir(exist_ok=True)
+    for stale in root.glob("*"):
+        stale.unlink()
+    write_project(root, sources)
+    cache_path = tmp_path / "cache.json"
+    if cache_path.exists():
+        cache_path.unlink()
+    cached_run(root, cache_path)
+
+    (root / victim).write_text(
+        "import time\n" + sources[victim] +
+        f"\n\ndef extra():\n    return time.time()\n")
+    incremental, _, _ = cached_run(root, cache_path)
+    fresh = make_engine(root).run([root])
+    assert payload_of(incremental) == payload_of(fresh)
+    assert incremental.suppressed == fresh.suppressed
+    assert incremental.files_checked == fresh.files_checked
+
+
+def test_closure_helper_is_directed():
+    calls = {"a": ["b"], "b": ["c"], "c": [], "d": ["b"]}
+    # Forward from c: nothing. Reverse from c: b, then a and d.
+    assert dependency_closure({"c"}, calls) == {"a", "b", "c", "d"}
+    # Forward from a: b, c.  Reverse from a: nothing.
+    assert dependency_closure({"a"}, calls) == {"a", "b", "c"}
+
+
+class TestTiming:
+    def test_warm_run_is_much_faster_than_cold(self, tmp_path):
+        """The point of the cache: a no-change warm run must not redo the
+        whole-program analysis.  Generous 5x bound to stay robust on
+        loaded CI machines (the real repo shows >10x)."""
+        import time as _time
+        sources = {}
+        for i in range(30):
+            body = [f"import m{i - 1}" if i else "", "import time", "",
+                    f"class Worker{i}:",
+                    "    def __init__(self):",
+                    "        self.total = 0", ""]
+            for j in range(6):
+                body += [f"    def step{j}(self, x):",
+                         f"        self.total += x + {j}",
+                         "        return time.monotonic()", ""]
+            sources[f"m{i}.py"] = "\n".join(body) + "\n"
+        write_project(tmp_path, sources)
+        cache_path = tmp_path / "cache.json"
+
+        start = _time.perf_counter()
+        cached_run(tmp_path, cache_path)
+        cold = _time.perf_counter() - start
+
+        start = _time.perf_counter()
+        _, stats, _ = cached_run(tmp_path, cache_path)
+        warm = _time.perf_counter() - start
+
+        assert stats.replayed
+        assert warm * 5 < cold, (cold, warm)

@@ -207,6 +207,24 @@ class TestRenderSarif:
                  ["locations"]]
         assert steps == list(findings[0].chain)
 
+    def test_perf_rules_render(self):
+        """P findings validate; P5 carries its reachability code flow at
+        error level, P1-P4 render as plain warnings."""
+        findings = lint_findings("p5_violation.py", "p1_violation.py")
+        assert {f.rule for f in findings} == {"P1", "P5"}
+        document = render_sarif(findings, rule_catalog())
+        validate(document)
+        results = document["runs"][0]["results"]
+        by_rule = {}
+        for result in results:
+            by_rule.setdefault(result["ruleId"], []).append(result)
+        assert {r["level"] for r in by_rule["P5"]} == {"error"}
+        assert {r["level"] for r in by_rule["P1"]} == {"warning"}
+        assert all("codeFlows" in r for r in by_rule["P5"])
+        listed = {rule["id"]
+                  for rule in document["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"P1", "P2", "P3", "P4", "P5"} <= listed
+
     def test_chainless_finding_has_no_code_flow(self):
         finding = Finding(rule="C3", path="m.py", line=1, col=0,
                           message="x")

@@ -171,3 +171,23 @@ class TestExecuteSpec:
                                engine_params={"num_functions": 16})
         direct = Simulator(trace, config, "clasp").run()
         assert execute_spec(spec) == direct
+
+
+class TestExecuteSpecFastMode:
+    """Service jobs are counters-only, so execute_spec routes them through
+    the fast serve loop; the stored payload must stay byte-identical."""
+
+    def test_counters_only_job_stores_bit_identical_result(self):
+        from repro.common.integrity import canonical_json
+
+        spec = _spec(warmup_instructions=300)
+        fast = execute_spec(spec)
+
+        config = dataclasses.replace(
+            policy_config("clasp", 2048, 2), warmup_instructions=300)
+        assert not config.fast_mode      # the un-routed baseline
+        trace = workload_trace("bm-x64", INSTRUCTIONS, seed=7)
+        slow = Simulator(trace, config, "clasp", strict=True).run()
+
+        assert canonical_json(fast.to_dict()) == \
+            canonical_json(slow.to_dict())
